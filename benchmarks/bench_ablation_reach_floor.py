@@ -1,0 +1,54 @@
+"""Ablation: the Potential Reach reporting floor (20 vs 1,000 users).
+
+The paper's dataset predates the 2018 floor increase from 20 to 1,000 users
+and argues that its estimation method — which keeps only the first floored
+VAS point — remains applicable under the higher floor.  The ablation runs
+the same estimation under both floors and checks that the cutpoints stay
+close, as claimed.
+"""
+
+from __future__ import annotations
+
+from repro.adsapi import AdsManagerAPI
+from repro.analysis import format_table
+from repro.config import PlatformConfig, UniquenessConfig
+from repro.core import RandomSelection, UniquenessModel
+from repro.reach import country_codes
+from repro.simclock import SimClock
+
+
+def test_ablation_reach_floor(benchmark, bench_sim):
+    def estimate_with_floor(floor: int) -> dict[float, float]:
+        platform = PlatformConfig(reach_floor=floor, allow_worldwide_location=False)
+        api = AdsManagerAPI(bench_sim.reach_model, platform=platform, clock=SimClock())
+        model = UniquenessModel(
+            api,
+            bench_sim.panel,
+            UniquenessConfig(n_bootstrap=30, seed=2),
+            locations=country_codes(),
+        )
+        report = model.estimate(RandomSelection(seed=2), probabilities=[0.5, 0.9])
+        return {p: report.estimate_for(p).n_p for p in (0.5, 0.9)}
+
+    def run_both() -> dict[int, dict[float, float]]:
+        return {20: estimate_with_floor(20), 1000: estimate_with_floor(1000)}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        [floor, round(values[0.5], 2), round(values[0.9], 2)]
+        for floor, values in results.items()
+    ]
+    print("\nAblation — reporting floor vs N(R)_P")
+    print(format_table(["floor", "N(R)_0.5", "N(R)_0.9"], rows))
+
+    # The method remains applicable under the 1,000-user floor: with far
+    # fewer informative VAS points the estimate becomes noisier, but it stays
+    # in the same regime (within a factor of two of the 20-user-floor value)
+    # and never collapses to a trivial answer — which is the paper's claim
+    # that the analysis can still be replicated under the current limits.
+    for probability in (0.5, 0.9):
+        low_floor = results[20][probability]
+        high_floor = results[1000][probability]
+        assert high_floor > 3
+        assert low_floor / 2 <= high_floor <= low_floor * 2

@@ -1,0 +1,58 @@
+"""Ablation: same-topic affinity boost in the reach model.
+
+The reach model boosts the conditional retention of interests sharing a
+topic with the rarest interest of a combination, reflecting the fact that a
+user's niche interests cluster topically.  The ablation shows the knob's
+effect on the random-selection cutpoint: removing the boost makes
+combinations shrink faster (smaller N_P), a strong boost slows the decay.
+The effect is secondary to the correlation exponent, which is why only the
+latter is calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.adsapi import AdsManagerAPI
+from repro.analysis import format_table
+from repro.config import PlatformConfig, ReachModelConfig, UniquenessConfig
+from repro.core import RandomSelection, UniquenessModel
+from repro.reach import StatisticalReachModel, country_codes
+from repro.simclock import SimClock
+
+BOOSTS = (0.0, 0.35, 1.5)
+
+
+def test_ablation_topic_affinity_boost(benchmark, bench_sim):
+    def cutpoint_for(boost: float) -> float:
+        model = StatisticalReachModel(
+            bench_sim.catalog,
+            replace(ReachModelConfig(), topic_affinity_boost=boost),
+        )
+        api = AdsManagerAPI(
+            model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+        )
+        uniqueness = UniquenessModel(
+            api,
+            bench_sim.panel,
+            UniquenessConfig(n_bootstrap=30, seed=4),
+            locations=country_codes(),
+        )
+        report = uniqueness.estimate(RandomSelection(seed=4), probabilities=[0.5])
+        return report.estimate_for(0.5).n_p
+
+    def sweep() -> dict[float, float]:
+        return {boost: cutpoint_for(boost) for boost in BOOSTS}
+
+    cutpoints = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [[boost, round(value, 2)] for boost, value in cutpoints.items()]
+    print("\nAblation — topic-affinity boost vs N(R)_0.5")
+    print(format_table(["boost", "N(R)_0.5"], rows))
+
+    values = [cutpoints[boost] for boost in BOOSTS]
+    # A stronger boost keeps audiences larger, so the cutpoint never decreases.
+    assert all(a <= b + 1e-6 for a, b in zip(values, values[1:]))
+    # The overall effect stays second-order compared with the correlation
+    # exponent: the extreme settings differ by well under a factor of two.
+    assert values[-1] / max(values[0], 1e-9) < 2.0

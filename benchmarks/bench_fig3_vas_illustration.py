@@ -1,0 +1,43 @@
+"""Figure 3: VAS(50) and VAS(90) for random selection, with the log-log fit.
+
+The figure illustrates the model: both quantile curves decrease with the
+number of interests, collide with the 20-user reporting floor, and the
+fitted lines extrapolate to an audience of one at the N_P cutpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figure3_illustration
+
+
+def test_fig3_vas_illustration(benchmark, samples_random):
+    series = benchmark.pedantic(
+        figure3_illustration, args=(samples_random,), rounds=3, iterations=1
+    )
+
+    print("\nFigure 3 — VAS(50) and VAS(90), random selection")
+    header = "  N    " + "".join(f"Q={s.quantile_percent:<6.0f}" for s in series)
+    print(header)
+    for index in range(0, samples_random.max_interests, 4):
+        row = f"  {index + 1:<4d} "
+        for curve in series:
+            row += f"{curve.audience_sizes[index]:<8.3g}"
+        print(row)
+    for curve in series:
+        print(
+            f"  fit Q={curve.quantile_percent:.0f}: A={curve.fit.slope_a:.2f} "
+            f"B={curve.fit.intercept_b:.2f} R2={curve.fit.r_squared:.2f} "
+            f"cutpoint={curve.fit.cutpoint:.2f}"
+        )
+
+    vas50, vas90 = series[0], series[1]
+    # Both curves decrease and end at the floor, as in the paper's figure.
+    for curve in (vas50, vas90):
+        finite = curve.audience_sizes[~np.isnan(curve.audience_sizes)]
+        assert finite[0] > finite[-1]
+        assert finite[-1] <= samples_random.floor + 1e-6
+    # VAS(90) dominates VAS(50) and therefore has the larger cutpoint.
+    assert vas90.fit.cutpoint > vas50.fit.cutpoint
+    assert vas50.fit.r_squared > 0.85

@@ -1,0 +1,42 @@
+"""Figure 4: VAS(Q) for Q in {50, 80, 90, 95}, least-popular selection.
+
+The paper's Figure 4 shows that the least-popular curves start low (the
+rarest interest of a user already has a small audience) and hit the
+reporting floor after a handful of interests, which is why N(LP)_P stays in
+the single digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figures4_5_quantile_curves
+
+
+def test_fig4_vas_least_popular(benchmark, samples_least_popular):
+    series = benchmark.pedantic(
+        figures4_5_quantile_curves, args=(samples_least_popular,), rounds=3, iterations=1
+    )
+
+    print("\nFigure 4 — VAS(Q), least-popular selection")
+    for curve in series:
+        finite = curve.audience_sizes[~np.isnan(curve.audience_sizes)]
+        floor_at = int(np.argmax(finite <= samples_least_popular.floor + 1e-6)) + 1
+        print(
+            f"  Q={curve.quantile_percent:>4.0f}: VAS(1)={finite[0]:.3g} "
+            f"reaches floor at N={floor_at}  cutpoint={curve.fit.cutpoint:.2f} "
+            f"R2={curve.fit.r_squared:.2f}"
+        )
+
+    quantiles = [curve.quantile_percent for curve in series]
+    assert quantiles == [50.0, 80.0, 90.0, 95.0]
+    cutpoints = [curve.fit.cutpoint for curve in series]
+    # Cutpoints grow with the quantile and stay in the "handful of interests"
+    # regime the paper reports (2.7 - 5.9).
+    assert all(a <= b + 1e-9 for a, b in zip(cutpoints, cutpoints[1:]))
+    assert cutpoints[0] < 12
+    # The LP curves hit the floor within a few interests.
+    vas50 = series[0].audience_sizes
+    finite50 = vas50[~np.isnan(vas50)]
+    first_floor = int(np.argmax(finite50 <= samples_least_popular.floor + 1e-6)) + 1
+    assert first_floor <= 8

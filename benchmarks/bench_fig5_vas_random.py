@@ -1,0 +1,37 @@
+"""Figure 5: VAS(Q) for Q in {50, 80, 90, 95}, random selection.
+
+The random-selection curves start around the audience of a typical single
+interest (about a million users) and need roughly 10-15 interests to hit the
+reporting floor, which pushes N(R)_P into the 11-27 range of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figures4_5_quantile_curves
+
+
+def test_fig5_vas_random(benchmark, samples_random, samples_least_popular):
+    series = benchmark.pedantic(
+        figures4_5_quantile_curves, args=(samples_random,), rounds=3, iterations=1
+    )
+
+    print("\nFigure 5 — VAS(Q), random selection")
+    for curve in series:
+        finite = curve.audience_sizes[~np.isnan(curve.audience_sizes)]
+        print(
+            f"  Q={curve.quantile_percent:>4.0f}: VAS(1)={finite[0]:.3g} "
+            f"VAS(10)={curve.audience_sizes[9]:.3g} cutpoint={curve.fit.cutpoint:.2f} "
+            f"R2={curve.fit.r_squared:.2f}"
+        )
+
+    cutpoints = {curve.quantile_percent: curve.fit.cutpoint for curve in series}
+    # Monotone in Q, and an order of magnitude above the LP cutpoints.
+    assert cutpoints[50.0] <= cutpoints[80.0] <= cutpoints[90.0] <= cutpoints[95.0]
+    lp_curves = figures4_5_quantile_curves(samples_least_popular)
+    lp_cutpoints = {c.quantile_percent: c.fit.cutpoint for c in lp_curves}
+    assert cutpoints[90.0] > lp_cutpoints[90.0] * 1.5
+    # A single random interest reaches a six-figure-plus audience.
+    vas50 = series[0].audience_sizes
+    assert vas50[0] > 1e5

@@ -1,0 +1,42 @@
+"""Figure 7: the FDVT "Risks of my FB interests" view.
+
+The countermeasure of Section 6 lists a user's interests sorted by audience
+size, colour-coded (red/orange/yellow/green), with one-click removal.  The
+benchmark regenerates the view for one panellist and exercises the removal
+of all high-risk interests.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.fdvt import RiskLevel
+
+
+def test_fig7_fdvt_risk_interface(benchmark, bench_sim):
+    extension = bench_sim.fdvt_extension()
+    user = next(
+        u for u in sorted(bench_sim.panel.users, key=lambda u: u.interest_count)
+        if u.interest_count >= 30
+    )
+
+    report = benchmark.pedantic(
+        extension.build_risk_report, args=(user,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [entry.name[:40], entry.risk.value, entry.audience_size, entry.status.value]
+        for entry in report.entries[:12]
+    ]
+    print("\nFigure 7 — FDVT risk interface (least popular interests first)")
+    print(format_table(["interest", "risk", "audience", "status"], rows))
+    counts = report.risk_counts()
+    print("  risk breakdown:", {level.value: count for level, count in counts.items()})
+
+    # The view is sorted ascending by audience size and covers every interest.
+    sizes = [entry.audience_size for entry in report.entries]
+    assert sizes == sorted(sizes)
+    assert len(report.entries) == user.interest_count
+    # Removing all red interests leaves no high-risk entry active.
+    protected_user, protected_report = extension.remove_risky_interests(user, report)
+    assert not protected_report.entries_at_risk((RiskLevel.RED,))
+    assert protected_user.interest_count <= user.interest_count

@@ -1,0 +1,66 @@
+"""Table 1: N_P estimates for both selection strategies.
+
+The paper reports (with 95% CIs and R-squared):
+
+    N(LP)_P : 2.74 / 3.96 / 4.16 / 5.89   for P = 0.5 / 0.8 / 0.9 / 0.95
+    N(R)_P  : 11.41 / 17.31 / 22.21 / 26.98
+
+The benchmark regenerates both rows on the synthetic substrate.  Absolute
+values depend on the synthetic calibration; the assertions check the
+qualitative structure: N grows with P, the least-popular strategy needs far
+fewer interests than the random one, the random strategy at P=0.95
+approaches (or exceeds) the 25-interest platform cap, and the fits are good.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compare_table1, format_records
+
+
+def test_table1_np_estimates(benchmark, bench_model, bench_strategies,
+                             samples_least_popular, samples_random):
+    lp_strategy, random_strategy = bench_strategies
+
+    def estimate_both():
+        lp = bench_model.estimate(lp_strategy, samples=samples_least_popular)
+        rnd = bench_model.estimate(random_strategy, samples=samples_random)
+        return lp, rnd
+
+    lp_report, random_report = benchmark.pedantic(estimate_both, rounds=1, iterations=1)
+
+    print("\nTable 1 — number of interests that make a user unique")
+    print(format_records([lp_report.table_row(), random_report.table_row()]))
+    print("  paper N(LP): 2.74 / 3.96 / 4.16 / 5.89")
+    print("  paper N(R) : 11.41 / 17.31 / 22.21 / 26.98")
+    comparison = compare_table1(
+        {"least_popular": lp_report, "random": random_report}, tolerance_ratio=3.0
+    )
+    for line in comparison.summary_lines():
+        print(f"  {line}")
+    # The paper's qualitative orderings must hold on the synthetic substrate.
+    assert not any(
+        "needs as many interests" in finding for finding in comparison.shape_findings
+    )
+
+    probabilities = (0.5, 0.8, 0.9, 0.95)
+    lp_values = [lp_report.estimate_for(p).n_p for p in probabilities]
+    random_values = [random_report.estimate_for(p).n_p for p in probabilities]
+
+    # N_P increases with P for both strategies.
+    assert all(a <= b + 1e-9 for a, b in zip(lp_values, lp_values[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(random_values, random_values[1:]))
+    # The least-popular strategy needs far fewer interests than random.
+    for lp_value, random_value in zip(lp_values, random_values):
+        assert lp_value < random_value
+    assert random_values[2] > lp_values[2] * 1.5
+    # Random selection at high probability approaches the 25-interest cap,
+    # while the LP strategy stays in the single-digit/low-teens regime.
+    assert random_values[3] > 18
+    assert lp_values[0] < 9
+    # Fits are accurate and CIs bracket the point estimates loosely.
+    for report in (lp_report, random_report):
+        for probability in probabilities:
+            estimate = report.estimate_for(probability)
+            assert estimate.r_squared > 0.8
+            assert estimate.confidence_interval.low <= estimate.n_p * 1.25
+            assert estimate.confidence_interval.high >= estimate.n_p * 0.75

@@ -1,0 +1,32 @@
+"""Table 3 (Appendix A): the 50-country Facebook user base.
+
+The uniqueness analysis is run over the 50 countries with the most Facebook
+users in January 2017, together about 1.5B monthly active users (81% of the
+platform).  The benchmark regenerates the table and checks the aggregate
+used as the world size of the reach model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.reach import TOP_50_COUNTRIES, country_codes, location_fraction, total_user_base
+
+
+def test_table3_country_user_base(benchmark, bench_sim):
+    total = benchmark(total_user_base)
+
+    rows = [
+        [country.code, country.name, country.fb_users_millions]
+        for country in TOP_50_COUNTRIES[:10]
+    ]
+    print("\nTable 3 — top-50 Facebook countries (first 10 rows shown)")
+    print(format_table(["code", "country", "users (M)"], rows))
+    print(f"  total across 50 countries: {total / 1e9:.2f}B users (paper: ~1.5B)")
+
+    assert len(TOP_50_COUNTRIES) == 50
+    assert 1.4e9 < total < 1.6e9
+    # The reach model's world size is exactly this user base.
+    assert bench_sim.reach_model.world_size() == float(total)
+    # Every individual country is a strict subset of the base.
+    assert location_fraction(["US"]) < 0.2
+    assert location_fraction(country_codes()) == 1.0

@@ -1,0 +1,36 @@
+"""Table 4 (Appendix B): FDVT panellists per country.
+
+The synthetic panel reproduces the published country marginal: 80 countries,
+Spain first with 1,131 users, a long tail of single-user countries, and
+2,390 users in total.  At benchmark scale the panel is sampled
+proportionally to those counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.fdvt import PANEL_COUNTRY_COUNTS, country_list, total_panel_users
+
+
+def test_table4_panel_country_breakdown(benchmark, bench_sim):
+    counts = benchmark.pedantic(bench_sim.panel.country_counts, rounds=5, iterations=1)
+
+    top = country_list()[:8]
+    rows = [
+        [code, PANEL_COUNTRY_COUNTS[code], counts.get(code, 0)] for code in top
+    ]
+    print("\nTable 4 — panellists per country (top rows)")
+    print(format_table(["country", "paper count", "synthetic count"], rows))
+    print(f"  paper total: {total_panel_users()}  synthetic total: {len(bench_sim.panel)}")
+
+    # The reference data matches the paper exactly.
+    assert total_panel_users() == 2_390
+    assert len(PANEL_COUNTRY_COUNTS) == 80
+    assert PANEL_COUNTRY_COUNTS["ES"] == 1_131
+    assert PANEL_COUNTRY_COUNTS["FR"] == 335
+    # The synthetic panel respects the ordering of the two largest groups.
+    assert counts.get("ES", 0) >= counts.get("FR", 0)
+    assert sum(counts.values()) == len(bench_sim.panel)
+    # Proportions track the paper within a loose tolerance at reduced scale.
+    spain_share = counts.get("ES", 0) / len(bench_sim.panel)
+    assert 0.25 < spain_share < 0.70  # paper: 47%

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has one benchmark module.  The
+benchmarks run against a mid-scale simulation (a few hundred panellists, a
+~12k-interest catalog) so the whole harness regenerates in minutes while
+preserving the qualitative shape of the paper's results; the full-scale
+reproduction uses the same code with ``repro.default_config()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_simulation, quick_config
+from repro.adsapi import AdsManagerAPI
+from repro.config import PlatformConfig, UniquenessConfig
+from repro.core import LeastPopularSelection, RandomSelection, UniquenessModel
+from repro.reach import country_codes
+from repro.simclock import SimClock
+
+#: Scale divisor applied to the paper-scale configuration for benchmarking.
+BENCH_SCALE_FACTOR = 8
+
+
+@pytest.fixture(scope="session")
+def bench_sim():
+    """The shared mid-scale simulation used by every benchmark."""
+    return build_simulation(quick_config(factor=BENCH_SCALE_FACTOR))
+
+
+@pytest.fixture(scope="session")
+def bench_api(bench_sim) -> AdsManagerAPI:
+    """A legacy-platform (2017) API instance for the uniqueness benches."""
+    return AdsManagerAPI(
+        bench_sim.reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_sim, bench_api) -> UniquenessModel:
+    """The uniqueness model bound to the benchmark panel."""
+    return UniquenessModel(
+        bench_api,
+        bench_sim.panel,
+        UniquenessConfig(n_bootstrap=300, seed=20211102),
+        locations=country_codes(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_strategies(bench_sim):
+    """The two selection strategies (least popular, random)."""
+    return bench_sim.strategies()
+
+
+@pytest.fixture(scope="session")
+def samples_least_popular(bench_model, bench_strategies):
+    """Collected audience samples for the least-popular strategy."""
+    return bench_model.collect(bench_strategies[0])
+
+
+@pytest.fixture(scope="session")
+def samples_random(bench_model, bench_strategies):
+    """Collected audience samples for the random strategy."""
+    return bench_model.collect(bench_strategies[1])

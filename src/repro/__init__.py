@@ -1,0 +1,78 @@
+"""repro — reproduction of "Unique on Facebook" (IMC 2021).
+
+The package reproduces, on fully synthetic substrates, the two contributions
+of González-Cabañas et al., IMC '21:
+
+* a data-driven model of ``N_P`` — the number of (non-PII) interests that
+  make a Facebook user unique with probability ``P`` (Section 4);
+* a systematic nanotargeting experiment showing that an attacker knowing
+  enough interests of a user can deliver ads exclusively to that user
+  (Section 5) — plus the FDVT-side and platform-side countermeasures of
+  Sections 6 and 8.
+
+Quick start::
+
+    from repro import build_simulation, quick_config
+
+    simulation = build_simulation(quick_config())
+    model = simulation.uniqueness_model()
+    lp, random = simulation.strategies()
+    report = model.estimate(random)
+    print(report.summary_lines())
+"""
+
+from .config import (
+    CatalogConfig,
+    ExperimentConfig,
+    PanelConfig,
+    PlatformConfig,
+    PopulationConfig,
+    ReachModelConfig,
+    ReproductionConfig,
+    UniquenessConfig,
+    default_config,
+    quick_config,
+)
+from .errors import (
+    AdsApiError,
+    CalibrationError,
+    CatalogError,
+    ConfigurationError,
+    DeliveryError,
+    InsufficientDataError,
+    ModelError,
+    PanelError,
+    PopulationError,
+    ReproError,
+)
+from .pipeline import Simulation, build_simulation
+from .simclock import SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdsApiError",
+    "CalibrationError",
+    "CatalogConfig",
+    "CatalogError",
+    "ConfigurationError",
+    "DeliveryError",
+    "ExperimentConfig",
+    "InsufficientDataError",
+    "ModelError",
+    "PanelConfig",
+    "PanelError",
+    "PlatformConfig",
+    "PopulationConfig",
+    "PopulationError",
+    "ReachModelConfig",
+    "ReproError",
+    "ReproductionConfig",
+    "SimClock",
+    "Simulation",
+    "UniquenessConfig",
+    "__version__",
+    "build_simulation",
+    "default_config",
+    "quick_config",
+]

@@ -1,0 +1,72 @@
+"""Advertiser ad-account state.
+
+The paper reports (Section 8.2) that Facebook suspended the ad account used
+for the nanotargeting experiment a few days after the last campaign had
+finished — a reactive measure that did not prevent the attack.  The account
+object tracks the spend and the suspension lifecycle so that the policy
+module can reproduce that behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import AccountSuspendedError, AdsApiError
+
+
+class AccountStatus(enum.Enum):
+    """Lifecycle states of an advertiser account."""
+
+    ACTIVE = "active"
+    FLAGGED = "flagged"
+    SUSPENDED = "suspended"
+
+
+@dataclass
+class AdAccount:
+    """A mutable advertiser account."""
+
+    account_id: str = "act_000001"
+    status: AccountStatus = AccountStatus.ACTIVE
+    total_spend_eur: float = 0.0
+    campaigns_launched: int = 0
+    flagged_at_hours: float | None = None
+    suspended_at_hours: float | None = None
+    flag_reasons: list[str] = field(default_factory=list)
+
+    @property
+    def is_active(self) -> bool:
+        """True when the account can still query the API and run campaigns."""
+        return self.status is not AccountStatus.SUSPENDED
+
+    def ensure_active(self) -> None:
+        """Raise :class:`AccountSuspendedError` unless the account is active."""
+        if not self.is_active:
+            raise AccountSuspendedError(
+                f"account {self.account_id} is suspended and cannot use the API"
+            )
+
+    def charge(self, amount_eur: float) -> None:
+        """Record ad spend on the account."""
+        if amount_eur < 0:
+            raise AdsApiError("cannot charge a negative amount")
+        self.total_spend_eur += amount_eur
+
+    def record_campaign_launch(self) -> None:
+        """Count a launched campaign."""
+        self.campaigns_launched += 1
+
+    def flag(self, reason: str, at_hours: float) -> None:
+        """Flag the account for review (does not block usage yet)."""
+        if self.status is AccountStatus.SUSPENDED:
+            return
+        self.status = AccountStatus.FLAGGED
+        if self.flagged_at_hours is None:
+            self.flagged_at_hours = at_hours
+        self.flag_reasons.append(reason)
+
+    def suspend(self, at_hours: float) -> None:
+        """Suspend the account (terminal state)."""
+        self.status = AccountStatus.SUSPENDED
+        self.suspended_at_hours = at_hours

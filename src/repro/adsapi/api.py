@@ -1,0 +1,214 @@
+"""The simulated Facebook Ads Manager API.
+
+:class:`AdsManagerAPI` is the facade every other subsystem talks to.  It
+reproduces the behaviour the paper depends on:
+
+* reach estimates for audiences built from interests and locations, with the
+  platform's reporting floor (20 users in 2017, 1,000 since 2018);
+* the 25-interest and 50-location limits and the compulsory-location rule;
+* request rate limiting (driven by a simulated clock);
+* Custom Audience management;
+* campaign authorisation hooks where countermeasures can be installed;
+* account-level state, including the reactive suspension the authors
+  experienced after their experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import PlatformConfig
+from ..errors import CampaignRejectedError, RateLimitExceededError
+from ..reach.backend import ReachBackend
+from ..simclock import SimClock
+from .account import AdAccount
+from .custom_audience import CustomAudience, CustomAudienceManager
+from .policy import CampaignDecision, PlatformPolicy, PolicyWarning
+from .ratelimit import TokenBucket
+from .reachestimate import ReachEstimate, apply_reporting_floor
+from .targeting import TargetingSpec
+from .validation import validate_spec
+
+
+@dataclass(frozen=True, slots=True)
+class ApiCallStats:
+    """Counters describing how an API instance has been used."""
+
+    reach_estimates: int
+    rate_limited: int
+    campaigns_authorized: int
+    campaigns_rejected: int
+
+
+@dataclass
+class _Counters:
+    reach_estimates: int = 0
+    rate_limited: int = 0
+    campaigns_authorized: int = 0
+    campaigns_rejected: int = 0
+
+
+class AdsManagerAPI:
+    """Facade over a reach backend exposing Ads-Manager semantics."""
+
+    def __init__(
+        self,
+        backend: ReachBackend,
+        *,
+        platform: PlatformConfig | None = None,
+        clock: SimClock | None = None,
+        policy: PlatformPolicy | None = None,
+        account: AdAccount | None = None,
+        auto_wait: bool = True,
+    ) -> None:
+        self._backend = backend
+        self._platform = platform or PlatformConfig()
+        self._clock = clock or SimClock()
+        self._policy = policy or PlatformPolicy(platform=self._platform)
+        self._account = account or AdAccount()
+        self._auto_wait = auto_wait
+        self._custom_audiences = CustomAudienceManager(platform=self._platform)
+        self._bucket = TokenBucket(
+            requests_per_minute=self._platform.rate_limit_requests_per_minute,
+            burst=self._platform.rate_limit_burst,
+            clock=self._clock,
+        )
+        self._counters = _Counters()
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def platform(self) -> PlatformConfig:
+        """Platform limits this API instance enforces."""
+        return self._platform
+
+    @property
+    def policy(self) -> PlatformPolicy:
+        """The platform policy (countermeasure rules can be added to it)."""
+        return self._policy
+
+    @property
+    def account(self) -> AdAccount:
+        """The advertiser account bound to this API instance."""
+        return self._account
+
+    @property
+    def clock(self) -> SimClock:
+        """The simulated clock driving rate limiting and reviews."""
+        return self._clock
+
+    @property
+    def custom_audiences(self) -> CustomAudienceManager:
+        """The Custom Audience manager for this account."""
+        return self._custom_audiences
+
+    @property
+    def backend(self) -> ReachBackend:
+        """The reach backend answering audience-size queries."""
+        return self._backend
+
+    def call_stats(self) -> ApiCallStats:
+        """Usage counters for this API instance."""
+        return ApiCallStats(
+            reach_estimates=self._counters.reach_estimates,
+            rate_limited=self._counters.rate_limited,
+            campaigns_authorized=self._counters.campaigns_authorized,
+            campaigns_rejected=self._counters.campaigns_rejected,
+        )
+
+    # -- reach estimation ----------------------------------------------------------
+
+    def estimate_reach(self, spec: TargetingSpec) -> ReachEstimate:
+        """Return the Potential Reach the dashboard would display for ``spec``."""
+        self._account.ensure_active()
+        validate_spec(spec, self._platform)
+        self._throttle()
+        raw = self._raw_audience(spec)
+        self._counters.reach_estimates += 1
+        return apply_reporting_floor(raw, self._platform.reach_floor)
+
+    def audience_warnings(self, spec: TargetingSpec) -> tuple[PolicyWarning, ...]:
+        """Warnings the campaign manager would display for ``spec``."""
+        validate_spec(spec, self._platform)
+        return self._policy.review_audience(spec, self._raw_audience(spec))
+
+    def _raw_audience(self, spec: TargetingSpec) -> float:
+        """True (unfloored) audience size; never exposed to advertisers."""
+        if spec.uses_custom_audience:
+            audience = self._custom_audiences.get(spec.custom_audience_id)
+            base = float(audience.active_size)
+            if spec.interests:
+                # Combining a custom audience with interests narrows it further;
+                # we approximate with the interest-selectivity of the backend.
+                selectivity = self._backend.audience_for(
+                    spec.interests,
+                    spec.effective_locations(),
+                    combine=spec.interest_combine,
+                ) / max(self._backend.world_size(spec.effective_locations()), 1.0)
+                base *= max(min(selectivity, 1.0), 0.0)
+            return base
+        return self._backend.audience_for(
+            spec.interests,
+            spec.effective_locations(),
+            combine=spec.interest_combine,
+        )
+
+    # -- campaign authorisation -------------------------------------------------------
+
+    def authorize_campaign(
+        self, spec: TargetingSpec, *, active_audience: float | None = None
+    ) -> CampaignDecision:
+        """Run the policy checks a campaign goes through before launching.
+
+        Raises :class:`CampaignRejectedError` when an installed countermeasure
+        rejects the campaign; otherwise records the launch on the account and
+        returns the (possibly warning-laden) decision.
+        """
+        self._account.ensure_active()
+        validate_spec(spec, self._platform)
+        raw = self._raw_audience(spec)
+        decision = self._policy.authorize_campaign(
+            spec, raw, active_audience=active_audience
+        )
+        if not decision.approved:
+            self._counters.campaigns_rejected += 1
+            raise CampaignRejectedError(
+                "campaign rejected by platform policy: "
+                + "; ".join(decision.rejection_reasons)
+            )
+        self._counters.campaigns_authorized += 1
+        self._account.record_campaign_launch()
+        return decision
+
+    # -- custom audiences ---------------------------------------------------------------
+
+    def create_custom_audience(
+        self,
+        pii_records: Sequence[str],
+        matched_user_ids: Sequence[int],
+        *,
+        active_user_ids: Sequence[int] | None = None,
+        audience_id: str | None = None,
+    ) -> CustomAudience:
+        """Upload a PII list and create a Custom Audience from its matches."""
+        self._account.ensure_active()
+        return self._custom_audiences.create(
+            pii_records,
+            matched_user_ids,
+            active_user_ids=active_user_ids,
+            audience_id=audience_id,
+        )
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _throttle(self) -> None:
+        if self._bucket.try_acquire():
+            return
+        self._counters.rate_limited += 1
+        if not self._auto_wait:
+            raise RateLimitExceededError(self._bucket.seconds_until_available())
+        # Fast-forward the simulated clock until a token is available; the
+        # small margin absorbs floating-point rounding in the refill math.
+        self._clock.advance(self._bucket.seconds_until_available() + 1e-6)
+        self._bucket.acquire()

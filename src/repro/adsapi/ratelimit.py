@@ -1,0 +1,67 @@
+"""Token-bucket rate limiting for the simulated Ads API.
+
+The real Ads Manager API throttles reach-estimate requests; the paper's data
+collection ("thousands of FB audiences") had to respect those limits.  The
+simulator reproduces the behaviour with a token bucket driven by the
+injected :class:`~repro.simclock.SimClock`, which keeps tests deterministic
+and lets large collections fast-forward simulated time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, RateLimitExceededError
+from ..simclock import SimClock
+
+
+class TokenBucket:
+    """A classic token-bucket rate limiter."""
+
+    def __init__(
+        self,
+        *,
+        requests_per_minute: float,
+        burst: int,
+        clock: SimClock,
+    ) -> None:
+        if requests_per_minute <= 0:
+            raise ConfigurationError("requests_per_minute must be positive")
+        if burst < 1:
+            raise ConfigurationError("burst must be at least 1")
+        self._rate_per_second = requests_per_minute / 60.0
+        self._capacity = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last_refill = clock.now()
+
+    @property
+    def available_tokens(self) -> float:
+        """Tokens currently available (after refilling to now)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; return whether it succeeded."""
+        if tokens <= 0:
+            raise ConfigurationError("tokens must be positive")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def acquire(self, tokens: float = 1.0) -> None:
+        """Consume ``tokens`` or raise :class:`RateLimitExceededError`."""
+        if not self.try_acquire(tokens):
+            raise RateLimitExceededError(self.seconds_until_available(tokens))
+
+    def seconds_until_available(self, tokens: float = 1.0) -> float:
+        """Simulated seconds until ``tokens`` would be available."""
+        self._refill()
+        missing = max(0.0, tokens - self._tokens)
+        return missing / self._rate_per_second
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(self._capacity, self._tokens + elapsed * self._rate_per_second)
+        self._last_refill = now

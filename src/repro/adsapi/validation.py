@@ -1,0 +1,51 @@
+"""Validation of targeting specifications against the platform limits.
+
+The limits are the ones described in Section 2.1 of the paper: at most 25
+interests per audience, at most 50 locations per query, a compulsory
+location when the worldwide option is unavailable (the 2017 situation), and
+Facebook's minimum age of 13.
+"""
+
+from __future__ import annotations
+
+from ..config import PlatformConfig
+from ..errors import TargetingValidationError, UnknownLocationError
+from ..reach.countries import WORLDWIDE, is_known_location
+from .targeting import TargetingSpec
+
+
+def validate_spec(spec: TargetingSpec, platform: PlatformConfig) -> None:
+    """Raise :class:`TargetingValidationError` if ``spec`` violates a limit."""
+    _validate_locations(spec, platform)
+    _validate_interests(spec, platform)
+
+
+def _validate_locations(spec: TargetingSpec, platform: PlatformConfig) -> None:
+    if len(spec.locations) > platform.max_locations_per_query:
+        raise TargetingValidationError(
+            f"at most {platform.max_locations_per_query} locations are allowed, "
+            f"got {len(spec.locations)}"
+        )
+    for code in spec.locations:
+        if not is_known_location(code):
+            raise UnknownLocationError(code)
+    if spec.is_worldwide:
+        if not platform.allow_worldwide_location:
+            raise TargetingValidationError(
+                "the worldwide location is not available on this platform version; "
+                "a specific location (country, region, town or ZIP code) is required"
+            )
+        if len(spec.locations) > 1:
+            raise TargetingValidationError(
+                "the worldwide location cannot be combined with specific countries"
+            )
+
+
+def _validate_interests(spec: TargetingSpec, platform: PlatformConfig) -> None:
+    if spec.interest_count > platform.max_interests_per_audience:
+        raise TargetingValidationError(
+            f"at most {platform.max_interests_per_audience} interests are allowed "
+            f"in an audience, got {spec.interest_count}"
+        )
+    if any(interest_id < 0 for interest_id in spec.interests):
+        raise TargetingValidationError("interest ids must be non-negative")

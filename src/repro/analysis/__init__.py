@@ -1,0 +1,40 @@
+"""Analysis helpers: empirical CDFs, tables and figure-series builders."""
+
+from .cdf import EmpiricalCDF
+from .comparison import (
+    Table1Comparison,
+    Table2Comparison,
+    compare_table1,
+    compare_table2,
+)
+from .figures import (
+    BarSeries,
+    CDFSeries,
+    VASSeries,
+    demographic_bar_series,
+    figure1_interests_per_user,
+    figure2_interest_audience_cdf,
+    figure3_illustration,
+    figures4_5_quantile_curves,
+    vas_series,
+)
+from .tables import format_records, format_table
+
+__all__ = [
+    "BarSeries",
+    "CDFSeries",
+    "EmpiricalCDF",
+    "Table1Comparison",
+    "Table2Comparison",
+    "VASSeries",
+    "compare_table1",
+    "compare_table2",
+    "demographic_bar_series",
+    "figure1_interests_per_user",
+    "figure2_interest_audience_cdf",
+    "figure3_illustration",
+    "figures4_5_quantile_curves",
+    "format_records",
+    "format_table",
+    "vas_series",
+]

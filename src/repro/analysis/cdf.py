@@ -1,0 +1,87 @@
+"""Empirical CDF utilities (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """The empirical cumulative distribution function of a sample."""
+
+    sorted_values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.sorted_values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise ModelError("an empirical CDF needs a non-empty 1-D sample")
+        object.__setattr__(self, "sorted_values", np.sort(values))
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "EmpiricalCDF":
+        """Build a CDF from an unsorted sample."""
+        return EmpiricalCDF(np.asarray(list(samples), dtype=float))
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the CDF."""
+        return int(self.sorted_values.size)
+
+    def evaluate(self, value: float) -> float:
+        """P(X <= value) under the empirical distribution."""
+        return float(np.searchsorted(self.sorted_values, value, side="right")) / self.n_samples
+
+    def evaluate_many(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`evaluate`."""
+        positions = np.searchsorted(
+            self.sorted_values, np.asarray(values, dtype=float), side="right"
+        )
+        return positions / self.n_samples
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sample (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ModelError("q must lie in [0, 100]")
+        return float(np.percentile(self.sorted_values, q))
+
+    def percentiles(self, qs: Sequence[float]) -> np.ndarray:
+        """Several percentiles at once."""
+        return np.percentile(self.sorted_values, list(qs))
+
+    @property
+    def median(self) -> float:
+        """The sample median."""
+        return self.percentile(50.0)
+
+    @property
+    def minimum(self) -> float:
+        """The smallest sample value."""
+        return float(self.sorted_values[0])
+
+    @property
+    def maximum(self) -> float:
+        """The largest sample value."""
+        return float(self.sorted_values[-1])
+
+    def series(self, n_points: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) series suitable for plotting the CDF curve.
+
+        When ``n_points`` is given the series is downsampled to roughly that
+        many points, which keeps figure data manageable for large samples.
+        """
+        values = self.sorted_values
+        cumulative = np.arange(1, values.size + 1) / values.size
+        if n_points is not None and n_points < values.size:
+            if n_points < 2:
+                raise ModelError("n_points must be at least 2")
+            indices = np.unique(
+                np.linspace(0, values.size - 1, n_points).astype(int)
+            )
+            values = values[indices]
+            cumulative = cumulative[indices]
+        return values, cumulative

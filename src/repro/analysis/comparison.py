@@ -1,0 +1,155 @@
+"""Comparison of reproduced results against the paper's published numbers.
+
+The reproduction runs on synthetic substrates, so absolute agreement with
+the paper is neither expected nor claimed; what must hold is the *shape* —
+orderings, ratios, and the conclusions drawn from them.  The helpers here
+turn a pair of uniqueness reports (or a nanotargeting experiment report)
+into a structured comparison that EXPERIMENTS.md, the benchmarks and
+downstream users can inspect programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.nanotargeting import ExperimentReport
+from ..core.results import UniquenessReport
+from ..errors import ModelError
+from ..paperdata import PAPER_TABLE1, PAPER_TABLE2_SUMMARY, ReferenceCheck
+
+
+@dataclass(frozen=True)
+class Table1Comparison:
+    """Comparison of reproduced N_P estimates against the paper's Table 1."""
+
+    checks: tuple[ReferenceCheck, ...]
+    shape_findings: tuple[str, ...]
+
+    @property
+    def shape_holds(self) -> bool:
+        """True when every qualitative (shape) finding of the paper holds."""
+        return not self.shape_findings
+
+    def summary_lines(self) -> list[str]:
+        """Readable per-quantity summary plus any shape violations."""
+        lines = [check.describe() for check in self.checks]
+        lines.extend(f"shape violation: {finding}" for finding in self.shape_findings)
+        return lines
+
+
+def compare_table1(
+    reports: Mapping[str, UniquenessReport], *, tolerance_ratio: float = 3.0
+) -> Table1Comparison:
+    """Compare reproduced Table 1 rows against the paper.
+
+    ``reports`` maps strategy names (``"least_popular"``, ``"random"``) to
+    their uniqueness reports.  The per-value checks use a generous
+    multiplicative tolerance (synthetic substrate); the shape findings are
+    strict: N grows with P, LP needs fewer interests than random at every
+    probability, and the random strategy at P=0.95 needs close to (or more
+    than) the 25-interest cap.
+    """
+    missing = {"least_popular", "random"} - set(reports)
+    if missing:
+        raise ModelError(f"missing reports for strategies: {sorted(missing)}")
+
+    checks: list[ReferenceCheck] = []
+    findings: list[str] = []
+    for strategy, paper_values in PAPER_TABLE1.items():
+        report = reports[strategy]
+        previous = None
+        for probability, paper_value in sorted(paper_values.items()):
+            try:
+                estimate = report.estimate_for(probability)
+            except ModelError:
+                continue
+            checks.append(
+                ReferenceCheck(
+                    name=f"N({strategy})_{probability:g}",
+                    paper_value=paper_value,
+                    measured_value=estimate.n_p,
+                    tolerance_ratio=tolerance_ratio,
+                )
+            )
+            if previous is not None and estimate.n_p + 1e-9 < previous:
+                findings.append(
+                    f"N({strategy})_P does not grow with P around P={probability:g}"
+                )
+            previous = estimate.n_p
+
+    shared = sorted(
+        set(PAPER_TABLE1["least_popular"])
+        & set(reports["least_popular"].estimates)
+        & set(reports["random"].estimates)
+    )
+    for probability in shared:
+        lp = reports["least_popular"].estimate_for(probability).n_p
+        random_value = reports["random"].estimate_for(probability).n_p
+        if lp >= random_value:
+            findings.append(
+                f"least-popular needs as many interests as random at P={probability:g}"
+            )
+    if 0.95 in reports["random"].estimates:
+        if reports["random"].estimate_for(0.95).n_p < 15:
+            findings.append(
+                "random selection at P=0.95 is far below the 25-interest regime"
+            )
+    return Table1Comparison(checks=tuple(checks), shape_findings=tuple(findings))
+
+
+@dataclass(frozen=True)
+class Table2Comparison:
+    """Comparison of a nanotargeting run against the paper's Table 2."""
+
+    checks: tuple[ReferenceCheck, ...]
+    shape_findings: tuple[str, ...]
+
+    @property
+    def shape_holds(self) -> bool:
+        """True when the experiment reproduces the paper's qualitative outcome."""
+        return not self.shape_findings
+
+    def summary_lines(self) -> list[str]:
+        """Readable summary of the comparison."""
+        lines = [check.describe() for check in self.checks]
+        lines.extend(f"shape violation: {finding}" for finding in self.shape_findings)
+        return lines
+
+
+def compare_table2(
+    report: ExperimentReport, *, tolerance_ratio: float = 2.5
+) -> Table2Comparison:
+    """Compare a nanotargeting experiment report against the paper's summary."""
+    paper = PAPER_TABLE2_SUMMARY
+    checks = [
+        ReferenceCheck(
+            name="campaigns",
+            paper_value=paper["n_campaigns"],
+            measured_value=report.n_campaigns,
+            tolerance_ratio=1.0,
+        ),
+        ReferenceCheck(
+            name="successful campaigns",
+            paper_value=paper["successful_campaigns"],
+            measured_value=report.success_count,
+            tolerance_ratio=tolerance_ratio,
+        ),
+        ReferenceCheck(
+            name="successful cost (EUR)",
+            paper_value=paper["successful_cost_eur"],
+            measured_value=max(report.successful_cost_eur(), 0.01),
+            tolerance_ratio=20.0,
+        ),
+    ]
+    findings = []
+    rates = report.success_rate_by_interests()
+    if rates.get(5, 0.0) > 0.0:
+        findings.append("5-interest campaigns should never nanotarget")
+    high = [rates.get(n, 0.0) for n in (18, 20, 22)]
+    low = [rates.get(n, 0.0) for n in (5, 7, 9)]
+    if high and low and sum(high) / len(high) <= sum(low) / len(low):
+        findings.append("high-interest campaigns do not outperform low-interest ones")
+    if report.success_count and report.successful_cost_eur() > 5.0:
+        findings.append("successful nanotargeting should cost well under a few euro")
+    return Table2Comparison(checks=tuple(checks), shape_findings=tuple(findings))

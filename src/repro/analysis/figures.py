@@ -1,0 +1,148 @@
+"""Figure-series builders.
+
+The library does not plot; instead each figure of the paper maps to a
+function returning the numeric series a plotting tool (or a benchmark
+assertion) needs.  All series are plain dataclasses of numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..catalog import InterestCatalog
+from ..core.fitting import LogLogFit, fit_vas
+from ..core.quantiles import AudienceSamples
+from ..core.results import UniquenessReport
+from ..errors import ModelError
+from ..fdvt.panel import FDVTPanel
+from .cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class CDFSeries:
+    """A CDF curve: sorted x values and cumulative probabilities."""
+
+    label: str
+    x: np.ndarray
+    cumulative: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.shape != self.cumulative.shape:
+            raise ModelError("x and cumulative must have the same shape")
+
+
+@dataclass(frozen=True)
+class VASSeries:
+    """One VAS(Q) curve plus its fitted line (Figures 3, 4 and 5)."""
+
+    quantile_percent: float
+    n_interests: np.ndarray
+    audience_sizes: np.ndarray
+    fit: LogLogFit
+
+    @property
+    def fitted_curve(self) -> np.ndarray:
+        """The fitted audience sizes at every N."""
+        return self.fit.predict_many(self.n_interests)
+
+
+@dataclass(frozen=True)
+class BarSeries:
+    """Bar-plot data for the demographic figures (Figures 8-10)."""
+
+    labels: tuple[str, ...]
+    values: np.ndarray
+    ci_low: np.ndarray
+    ci_high: np.ndarray
+
+
+def figure1_interests_per_user(panel: FDVTPanel, *, n_points: int | None = None) -> CDFSeries:
+    """Figure 1: CDF of the number of interests per panel user."""
+    cdf = EmpiricalCDF.from_samples(panel.interests_per_user())
+    x, cumulative = cdf.series(n_points)
+    return CDFSeries(label="interests per user", x=x, cumulative=cumulative)
+
+
+def figure2_interest_audience_cdf(
+    catalog: InterestCatalog,
+    panel: FDVTPanel | None = None,
+    *,
+    n_points: int | None = None,
+) -> CDFSeries:
+    """Figure 2: CDF of the audience size of the unique interests observed.
+
+    When a panel is given only the interests actually assigned to at least
+    one panellist are considered (as in the paper); otherwise the whole
+    catalog is used.
+    """
+    if panel is not None:
+        interest_ids = panel.unique_interest_ids()
+        audiences = catalog.audience_sizes(interest_ids)
+    else:
+        audiences = catalog.all_audience_sizes()
+    cdf = EmpiricalCDF.from_samples(audiences)
+    x, cumulative = cdf.series(n_points)
+    return CDFSeries(label="interest audience size", x=x, cumulative=cumulative)
+
+
+def vas_series(
+    samples: AudienceSamples, quantile_percents: Sequence[float]
+) -> list[VASSeries]:
+    """VAS(Q) curves with fits for several quantiles (Figures 3-5)."""
+    series = []
+    for quantile in quantile_percents:
+        vas = samples.vas(quantile)
+        fit = fit_vas(vas, samples.floor)
+        n = np.arange(1, vas.size + 1, dtype=float)
+        series.append(
+            VASSeries(
+                quantile_percent=float(quantile),
+                n_interests=n,
+                audience_sizes=vas,
+                fit=fit,
+            )
+        )
+    return series
+
+
+def figure3_illustration(samples: AudienceSamples) -> list[VASSeries]:
+    """Figure 3: VAS(50) and VAS(90) with their fitted lines."""
+    return vas_series(samples, (50.0, 90.0))
+
+
+def figures4_5_quantile_curves(samples: AudienceSamples) -> list[VASSeries]:
+    """Figures 4 and 5: VAS(Q) for Q in {50, 80, 90, 95} with fits."""
+    return vas_series(samples, (50.0, 80.0, 90.0, 95.0))
+
+
+def demographic_bar_series(
+    group_reports: Mapping[str, UniquenessReport] | Sequence[tuple[str, UniquenessReport]],
+    *,
+    probability: float = 0.9,
+) -> BarSeries:
+    """Figures 8-10: N_0.9 per demographic group with confidence intervals."""
+    if isinstance(group_reports, Mapping):
+        items = list(group_reports.items())
+    else:
+        items = list(group_reports)
+    if not items:
+        raise ModelError("at least one group report is required")
+    labels = []
+    values = []
+    low = []
+    high = []
+    for label, report in items:
+        estimate = report.estimate_for(probability)
+        labels.append(label)
+        values.append(estimate.n_p)
+        low.append(estimate.confidence_interval.low)
+        high.append(estimate.confidence_interval.high)
+    return BarSeries(
+        labels=tuple(labels),
+        values=np.asarray(values, dtype=float),
+        ci_low=np.asarray(low, dtype=float),
+        ci_high=np.asarray(high, dtype=float),
+    )

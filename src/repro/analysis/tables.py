@@ -1,0 +1,48 @@
+"""Plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import ModelError
+
+
+def format_cell(value: object) -> str:
+    """Render one cell value."""
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    if not headers:
+        raise ModelError("a table needs at least one column")
+    rendered_rows = [[format_cell(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ModelError("every row must have one cell per header")
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_records(records: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of homogeneous dictionaries as a table."""
+    if not records:
+        raise ModelError("at least one record is required")
+    headers = list(records[0].keys())
+    rows = [[record.get(header, "") for header in headers] for record in records]
+    return format_table(headers, rows)

@@ -1,0 +1,5 @@
+"""Synthetic advertiser workloads."""
+
+from .workload import AdvertiserWorkloadGenerator, WorkloadConfig
+
+__all__ = ["AdvertiserWorkloadGenerator", "WorkloadConfig"]

@@ -1,0 +1,16 @@
+"""Synthetic interest catalog: interests, taxonomy and popularity model."""
+
+from .catalog import InterestCatalog
+from .interest import Interest
+from .popularity import PopularityModel
+from .taxonomy import TOPICS, interest_name, topic_for_index, validate_topic
+
+__all__ = [
+    "Interest",
+    "InterestCatalog",
+    "PopularityModel",
+    "TOPICS",
+    "interest_name",
+    "topic_for_index",
+    "validate_topic",
+]

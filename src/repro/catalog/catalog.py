@@ -1,0 +1,181 @@
+"""The synthetic interest catalog.
+
+The catalog plays the role of Facebook's global interest inventory: the set
+of ~99k unique interests observed across the FDVT panel, each with a
+worldwide audience size.  Every other subsystem (reach model, population
+builder, FDVT panel, uniqueness analysis) draws interests from a single
+shared catalog so their views of interest popularity are mutually
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator, derive_generator
+from ..config import CatalogConfig
+from ..errors import CatalogError, UnknownInterestError
+from .interest import Interest
+from .popularity import PopularityModel
+from .taxonomy import TOPICS, interest_name, topic_for_index
+
+
+class InterestCatalog:
+    """An immutable collection of :class:`Interest` objects."""
+
+    def __init__(self, interests: Iterable[Interest]) -> None:
+        self._interests: dict[int, Interest] = {}
+        for interest in interests:
+            if interest.interest_id in self._interests:
+                raise CatalogError(
+                    f"duplicate interest id: {interest.interest_id}"
+                )
+            self._interests[interest.interest_id] = interest
+        if not self._interests:
+            raise CatalogError("a catalog must contain at least one interest")
+        self._ids = np.array(sorted(self._interests), dtype=np.int64)
+        self._audiences = np.array(
+            [self._interests[i].audience_size for i in self._ids], dtype=np.int64
+        )
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def generate(
+        config: CatalogConfig | None = None,
+        *,
+        world_population: float = 1_500_000_000.0,
+        seed: SeedLike = None,
+    ) -> "InterestCatalog":
+        """Generate a synthetic catalog according to ``config``.
+
+        ``world_population`` caps the largest audiences; by default it
+        matches the 1.5B-user base of the paper's Appendix A country set.
+        """
+        config = config or CatalogConfig()
+        base_seed = config.seed if seed is None else seed
+        rng = (
+            base_seed
+            if isinstance(base_seed, np.random.Generator)
+            else derive_generator(int(base_seed), "catalog")
+        )
+        popularity = PopularityModel.from_config(config, world_population)
+        audiences = popularity.sample(config.n_interests, rng)
+        interests = []
+        for index, audience in enumerate(audiences):
+            topic = topic_for_index(index, config.n_topics)
+            interests.append(
+                Interest(
+                    interest_id=index,
+                    name=interest_name(index, topic),
+                    topic=topic,
+                    audience_size=int(audience),
+                )
+            )
+        return InterestCatalog(interests)
+
+    # -- basic container protocol -----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._interests)
+
+    def __iter__(self) -> Iterator[Interest]:
+        for interest_id in self._ids:
+            yield self._interests[int(interest_id)]
+
+    def __contains__(self, interest_id: object) -> bool:
+        return interest_id in self._interests
+
+    def get(self, interest_id: int) -> Interest:
+        """Return the interest with ``interest_id`` or raise."""
+        try:
+            return self._interests[interest_id]
+        except KeyError:
+            raise UnknownInterestError(interest_id) from None
+
+    @property
+    def interest_ids(self) -> np.ndarray:
+        """Sorted array of all interest ids."""
+        return self._ids.copy()
+
+    # -- audience lookups ---------------------------------------------------
+
+    def audience_size(self, interest_id: int) -> int:
+        """Worldwide audience size of a single interest."""
+        return self.get(interest_id).audience_size
+
+    def audience_sizes(self, interest_ids: Sequence[int]) -> np.ndarray:
+        """Vector of audience sizes for a sequence of interest ids."""
+        return np.array(
+            [self.audience_size(int(i)) for i in interest_ids], dtype=np.int64
+        )
+
+    def all_audience_sizes(self) -> np.ndarray:
+        """Audience sizes of every interest in id order."""
+        return self._audiences.copy()
+
+    def audience_percentiles(self, percentiles: Sequence[float]) -> np.ndarray:
+        """Percentiles of the audience-size distribution (Figure 2)."""
+        return np.percentile(self._audiences, list(percentiles))
+
+    # -- topic and sampling helpers -----------------------------------------
+
+    def topics(self) -> tuple[str, ...]:
+        """Topics present in the catalog, in taxonomy order."""
+        present = {interest.topic for interest in self}
+        return tuple(topic for topic in TOPICS if topic in present)
+
+    def by_topic(self, topic: str) -> tuple[Interest, ...]:
+        """All interests belonging to ``topic``."""
+        return tuple(interest for interest in self if interest.topic == topic)
+
+    def rarest(self, n: int) -> tuple[Interest, ...]:
+        """The ``n`` interests with the smallest audiences."""
+        if n < 0:
+            raise CatalogError("n must be non-negative")
+        order = np.argsort(self._audiences, kind="stable")[:n]
+        return tuple(self._interests[int(self._ids[i])] for i in order)
+
+    def most_popular(self, n: int) -> tuple[Interest, ...]:
+        """The ``n`` interests with the largest audiences."""
+        if n < 0:
+            raise CatalogError("n must be non-negative")
+        order = np.argsort(self._audiences, kind="stable")[::-1][:n]
+        return tuple(self._interests[int(self._ids[i])] for i in order)
+
+    def sample_ids(
+        self,
+        n: int,
+        seed: SeedLike = None,
+        *,
+        weights: np.ndarray | None = None,
+        replace: bool = False,
+    ) -> np.ndarray:
+        """Sample ``n`` interest ids, optionally weighted."""
+        if n < 0:
+            raise CatalogError("n must be non-negative")
+        if not replace and n > len(self):
+            raise CatalogError("cannot sample more interests than the catalog holds")
+        rng = as_generator(seed)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != self._ids.shape:
+                raise CatalogError("weights must have one entry per interest")
+            total = weights.sum()
+            if total <= 0:
+                raise CatalogError("weights must sum to a positive value")
+            weights = weights / total
+        return rng.choice(self._ids, size=n, replace=replace, p=weights)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """Serialise the whole catalog to a list of dictionaries."""
+        return [interest.to_dict() for interest in self]
+
+    @staticmethod
+    def from_dicts(records: Iterable[dict]) -> "InterestCatalog":
+        """Rebuild a catalog from :meth:`to_dicts` output."""
+        return InterestCatalog(Interest.from_dict(record) for record in records)

@@ -1,0 +1,233 @@
+"""Command-line interface for the reproduction pipeline.
+
+Installs as the ``repro-facebook`` console script and exposes one
+sub-command per stage of the paper:
+
+* ``dataset``          — generate and persist the synthetic catalog + panel;
+* ``uniqueness``       — Section 4: estimate N_P for both strategies (Table 1);
+* ``nanotargeting``    — Section 5: run the 21-campaign experiment (Table 2);
+* ``fdvt-report``      — Section 6: print one panellist's interest-risk view;
+* ``countermeasures``  — Section 8.3: evaluate the proposed platform rules.
+
+Every sub-command accepts ``--factor`` (the scale divisor applied to the
+paper-scale configuration; 1 reproduces the full-scale study) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from . import build_simulation, default_config, quick_config
+from .analysis import format_records, format_table
+from .campaigns import AdvertiserWorkloadGenerator
+from .countermeasures import (
+    evaluate_attack_protection,
+    evaluate_workload_impact,
+    recommended_rules,
+    run_protected_experiment,
+)
+from .io import (
+    experiment_report_to_dict,
+    save_catalog,
+    save_panel,
+    uniqueness_report_to_dict,
+)
+from .pipeline import Simulation
+
+
+def _build(args: argparse.Namespace) -> Simulation:
+    config = default_config() if args.factor <= 1 else quick_config(factor=args.factor)
+    return build_simulation(config, seed=args.seed)
+
+
+def _write_json(path: str | None, payload: dict) -> None:
+    if not path:
+        return
+    output = Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {output}")
+
+
+# -- sub-commands -------------------------------------------------------------------
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    """Generate the synthetic catalog and panel and save them as JSON."""
+    simulation = _build(args)
+    output_dir = Path(args.output_dir)
+    catalog_path = save_catalog(simulation.catalog, output_dir / "catalog.json")
+    panel_path = save_panel(simulation.panel, output_dir / "panel.json")
+    print(f"catalog: {len(simulation.catalog):,} interests -> {catalog_path}")
+    print(f"panel  : {len(simulation.panel):,} users -> {panel_path}")
+    return 0
+
+
+def cmd_uniqueness(args: argparse.Namespace) -> int:
+    """Estimate N_P for both selection strategies (Table 1)."""
+    simulation = _build(args)
+    model = simulation.uniqueness_model()
+    strategies = simulation.strategies()
+    probabilities = tuple(args.probabilities)
+    rows = []
+    payload = {}
+    for strategy in strategies:
+        report = model.estimate(strategy, probabilities=probabilities)
+        rows.append(report.table_row())
+        payload[strategy.name] = uniqueness_report_to_dict(report)
+    print(format_records(rows))
+    _write_json(args.output, payload)
+    return 0
+
+
+def cmd_nanotargeting(args: argparse.Namespace) -> int:
+    """Run the nanotargeting experiment (Table 2)."""
+    simulation = _build(args)
+    experiment = simulation.nanotargeting_experiment(seed=args.seed)
+    report = experiment.run(candidates=simulation.panel.users)
+    print(format_records(report.table_rows()))
+    print(
+        f"successful campaigns: {report.success_count}/{report.n_campaigns}  "
+        f"total cost: €{report.total_cost_eur():.2f}  "
+        f"successful cost: €{report.successful_cost_eur():.2f}"
+    )
+    _write_json(args.output, experiment_report_to_dict(report))
+    return 1 if args.fail_on_success and report.success_count else 0
+
+
+def cmd_fdvt_report(args: argparse.Namespace) -> int:
+    """Print the interest-risk report of one panellist (Figure 7)."""
+    simulation = _build(args)
+    extension = simulation.fdvt_extension()
+    if args.user_id is not None:
+        user = simulation.panel.get(args.user_id)
+    else:
+        user = next(
+            u for u in sorted(simulation.panel.users, key=lambda u: u.interest_count)
+            if u.interest_count >= args.min_interests
+        )
+    report = extension.build_risk_report(user)
+    rows = [
+        [entry.name[:48], entry.risk.value, entry.audience_size]
+        for entry in report.entries[: args.limit]
+    ]
+    print(f"panel user #{user.user_id} ({user.country}), {user.interest_count} interests")
+    print(format_table(["interest", "risk", "audience"], rows))
+    counts = {level.value: count for level, count in report.risk_counts().items()}
+    print(f"risk breakdown: {counts}")
+    return 0
+
+
+def cmd_countermeasures(args: argparse.Namespace) -> int:
+    """Evaluate the Section 8.3 countermeasures."""
+    simulation = _build(args)
+    experiment = simulation.nanotargeting_experiment(seed=args.seed)
+    targets = experiment.select_targets(simulation.panel.users)
+    baseline = experiment.run(targets)
+
+    protected_simulation = build_simulation(simulation.config, seed=args.seed)
+    protected_experiment = protected_simulation.nanotargeting_experiment(seed=args.seed)
+    protected = run_protected_experiment(
+        protected_simulation.campaign_api,
+        protected_simulation.delivery_engine,
+        [protected_simulation.panel.get(t.user_id) for t in targets],
+        list(recommended_rules()),
+        experiment=protected_experiment,
+    )
+    effectiveness = evaluate_attack_protection(baseline, protected)
+    workload = AdvertiserWorkloadGenerator(simulation.catalog).generate(
+        args.workload_size, seed=args.seed or 0
+    )
+    impact = evaluate_workload_impact(
+        simulation.campaign_api, workload, [recommended_rules()[0]]
+    )
+    print(f"baseline successes : {baseline.success_count}/{baseline.n_campaigns}")
+    print(f"protected successes: {protected.success_count}/{protected.n_campaigns}")
+    print(f"attack reduction   : {effectiveness.attack_reduction:.0%}")
+    print(
+        f"benign impact      : {impact.rejected_campaigns}/{impact.total_campaigns} "
+        f"campaigns rejected ({impact.rejection_rate:.2%})"
+    )
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-facebook",
+        description="Reproduction of 'Unique on Facebook' (IMC 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--factor",
+            type=int,
+            default=20,
+            help="scale divisor applied to the paper-scale configuration (1 = full scale)",
+        )
+        sub.add_argument("--seed", type=int, default=None, help="override the default seeds")
+
+    dataset = subparsers.add_parser("dataset", help="generate and save the synthetic dataset")
+    add_common(dataset)
+    dataset.add_argument("--output-dir", default="dataset", help="directory for the JSON files")
+    dataset.set_defaults(handler=cmd_dataset)
+
+    uniqueness = subparsers.add_parser("uniqueness", help="estimate N_P (Table 1)")
+    add_common(uniqueness)
+    uniqueness.add_argument(
+        "--probabilities",
+        type=float,
+        nargs="+",
+        default=[0.5, 0.8, 0.9, 0.95],
+        help="probabilities P for which N_P is estimated",
+    )
+    uniqueness.add_argument("--output", default=None, help="write the reports as JSON")
+    uniqueness.set_defaults(handler=cmd_uniqueness)
+
+    nanotargeting = subparsers.add_parser(
+        "nanotargeting", help="run the nanotargeting experiment (Table 2)"
+    )
+    add_common(nanotargeting)
+    nanotargeting.add_argument("--output", default=None, help="write the report as JSON")
+    nanotargeting.add_argument(
+        "--fail-on-success",
+        action="store_true",
+        help="exit with status 1 when any campaign nanotargets its user "
+        "(useful as a regression check for countermeasure deployments)",
+    )
+    nanotargeting.set_defaults(handler=cmd_nanotargeting)
+
+    fdvt = subparsers.add_parser("fdvt-report", help="print a user's interest-risk view")
+    add_common(fdvt)
+    fdvt.add_argument("--user-id", type=int, default=None, help="panel user id to inspect")
+    fdvt.add_argument("--min-interests", type=int, default=30)
+    fdvt.add_argument("--limit", type=int, default=15, help="rows to display")
+    fdvt.set_defaults(handler=cmd_fdvt_report)
+
+    countermeasures = subparsers.add_parser(
+        "countermeasures", help="evaluate the Section 8.3 countermeasures"
+    )
+    add_common(countermeasures)
+    countermeasures.add_argument("--workload-size", type=int, default=500)
+    countermeasures.set_defaults(handler=cmd_countermeasures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

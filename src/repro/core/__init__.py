@@ -1,0 +1,50 @@
+"""The paper's primary contribution: uniqueness model and nanotargeting experiment."""
+
+from .attack import AttackAssessment, AttackPlan, AttackPlanner
+from .bootstrap import ConfidenceInterval, bootstrap_cutpoints, percentile_interval
+from .collection import AudienceSizeCollector
+from .demographics import DemographicAnalysis, GroupEstimate
+from .fitting import LogLogFit, fit_vas, truncate_at_floor
+from .nanotargeting import (
+    CampaignRecord,
+    ExperimentReport,
+    NanotargetingExperiment,
+    SuccessValidation,
+)
+from .quantiles import AudienceSamples, probability_to_percentile
+from .results import NPEstimate, UniquenessReport
+from .selection import (
+    LeastPopularSelection,
+    RandomSelection,
+    SelectionStrategy,
+    nested_subsets,
+)
+from .uniqueness import UniquenessModel
+
+__all__ = [
+    "AttackAssessment",
+    "AttackPlan",
+    "AttackPlanner",
+    "AudienceSamples",
+    "AudienceSizeCollector",
+    "CampaignRecord",
+    "ConfidenceInterval",
+    "DemographicAnalysis",
+    "ExperimentReport",
+    "GroupEstimate",
+    "LeastPopularSelection",
+    "LogLogFit",
+    "NPEstimate",
+    "NanotargetingExperiment",
+    "RandomSelection",
+    "SelectionStrategy",
+    "SuccessValidation",
+    "UniquenessModel",
+    "UniquenessReport",
+    "bootstrap_cutpoints",
+    "fit_vas",
+    "nested_subsets",
+    "percentile_interval",
+    "probability_to_percentile",
+    "truncate_at_floor",
+]

@@ -1,0 +1,163 @@
+"""Attacker-side planning: from partial knowledge to a nanotargeting campaign.
+
+Section 5 of the paper argues that an attacker who can infer "a few tens" of
+a victim's interests can nanotarget them, and Section 4 quantifies how many
+interests are enough.  :class:`AttackPlanner` packages that link: given the
+interests an attacker believes the victim holds, it predicts the success
+probability of a campaign using them (by interpolating the uniqueness
+model's fitted curves) and assembles the campaign plan — respecting the
+25-interest platform cap the paper highlights as the reason a 95%-confidence
+attack is impossible in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import MAX_INTERESTS_PER_AUDIENCE
+from ..errors import ModelError
+from ..population.user import SyntheticUser
+from .results import UniquenessReport
+
+
+@dataclass(frozen=True)
+class AttackAssessment:
+    """Prediction for a nanotargeting attempt with a given interest set."""
+
+    n_interests_known: int
+    n_interests_used: int
+    predicted_audience: float
+    success_probability: float
+    actionable: bool
+
+    def __post_init__(self) -> None:
+        if self.n_interests_used > self.n_interests_known:
+            raise ModelError("cannot use more interests than are known")
+        if not 0.0 <= self.success_probability <= 1.0:
+            raise ModelError("success_probability must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """A concrete campaign plan for one victim."""
+
+    victim_user_id: int
+    interests: tuple[int, ...]
+    assessment: AttackAssessment
+
+
+class AttackPlanner:
+    """Plans nanotargeting attempts from a uniqueness report.
+
+    The planner works purely from the attacker's viewpoint: it sees a
+    :class:`UniquenessReport` (the population-level model) and whatever
+    subset of the victim's interests the attacker managed to infer.
+    """
+
+    def __init__(
+        self,
+        report: UniquenessReport,
+        *,
+        max_interests: int = MAX_INTERESTS_PER_AUDIENCE,
+    ) -> None:
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        self._report = report
+        self._max_interests = max_interests
+
+    @property
+    def report(self) -> UniquenessReport:
+        """The uniqueness report the planner interpolates."""
+        return self._report
+
+    # -- predictions --------------------------------------------------------------
+
+    def success_probability(self, n_interests: int) -> float:
+        """Probability that ``n_interests`` interests single out one user.
+
+        The probability is interpolated between the report's ``N_P``
+        estimates: a campaign using exactly ``N_P`` interests succeeds with
+        probability ``P``, so the inverse mapping from interest count to
+        probability is piecewise linear between the estimated cutpoints.
+        """
+        if n_interests < 1:
+            raise ModelError("n_interests must be >= 1")
+        probabilities = np.array(self._report.probabilities, dtype=float)
+        cutpoints = np.array(
+            [self._report.estimate_for(p).n_p for p in self._report.probabilities],
+            dtype=float,
+        )
+        order = np.argsort(cutpoints)
+        cutpoints, probabilities = cutpoints[order], probabilities[order]
+        if n_interests <= cutpoints[0]:
+            # Below the smallest estimated cutpoint: scale down proportionally.
+            return float(probabilities[0] * n_interests / max(cutpoints[0], 1e-9))
+        if n_interests >= cutpoints[-1]:
+            return float(probabilities[-1])
+        return float(np.interp(n_interests, cutpoints, probabilities))
+
+    def predicted_audience(self, n_interests: int, *, probability: float | None = None) -> float:
+        """Median (or ``probability``-quantile) audience for ``n_interests``."""
+        reference = probability or self._report.probabilities[0]
+        estimate = self._report.estimate_for(reference)
+        return max(1.0, estimate.fit.predict(n_interests))
+
+    def assess(self, known_interests: Sequence[int]) -> AttackAssessment:
+        """Assess an attack that uses every known interest (up to the cap)."""
+        known = tuple(dict.fromkeys(int(i) for i in known_interests))
+        if not known:
+            raise ModelError("the attacker must know at least one interest")
+        used = min(len(known), self._max_interests)
+        return AttackAssessment(
+            n_interests_known=len(known),
+            n_interests_used=used,
+            predicted_audience=self.predicted_audience(used),
+            success_probability=self.success_probability(used),
+            actionable=used <= self._max_interests,
+        )
+
+    def interests_needed(self, target_probability: float) -> int:
+        """Smallest whole number of interests reaching ``target_probability``.
+
+        Raises :class:`ModelError` when the requirement exceeds the platform
+        cap — the paper's observation that a 95% attack needs 27 random
+        interests and is therefore impossible with the 25-interest limit.
+        """
+        if not 0.0 < target_probability < 1.0:
+            raise ModelError("target_probability must lie in (0, 1)")
+        for n_interests in range(1, self._max_interests + 1):
+            if self.success_probability(n_interests) >= target_probability:
+                return n_interests
+        raise ModelError(
+            f"reaching a {target_probability:.0%} success probability needs more than "
+            f"{self._max_interests} interests, which the platform does not allow"
+        )
+
+    # -- planning ------------------------------------------------------------------
+
+    def plan(self, victim: SyntheticUser, known_interests: Sequence[int]) -> AttackPlan:
+        """Build the campaign plan for ``victim`` from the known interests.
+
+        Only interests the victim actually holds are usable (the attacker may
+        have wrong guesses; those would silently exclude the victim from the
+        audience), and at most the platform cap is used.
+        """
+        usable = [
+            int(i) for i in dict.fromkeys(known_interests) if victim.has_interest(int(i))
+        ]
+        if not usable:
+            raise ModelError("none of the known interests belong to the victim")
+        chosen = tuple(usable[: self._max_interests])
+        assessment = AttackAssessment(
+            n_interests_known=len(usable),
+            n_interests_used=len(chosen),
+            predicted_audience=self.predicted_audience(len(chosen)),
+            success_probability=self.success_probability(len(chosen)),
+            actionable=len(chosen) <= self._max_interests,
+        )
+        return AttackPlan(
+            victim_user_id=victim.user_id, interests=chosen, assessment=assessment
+        )

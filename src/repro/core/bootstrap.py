@@ -1,0 +1,91 @@
+"""Bootstrap confidence intervals for the N_P cutpoints.
+
+The paper assesses the uncertainty of its cutpoint estimates by repeating
+the aggregation and fit over 10,000 bootstrap resamples of the panel and
+reporting the 95% confidence interval.  The resampling is done over *users*
+(rows of the sample matrix), which keeps the per-user correlation across N
+values intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator
+from ..errors import ModelError
+from .fitting import fit_vas
+from .quantiles import AudienceSamples
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A two-sided percentile confidence interval."""
+
+    low: float
+    high: float
+    level: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.level < 1.0:
+            raise ModelError("confidence level must lie in (0, 1)")
+        if self.high < self.low:
+            raise ModelError("interval upper bound must be >= lower bound")
+
+    @property
+    def width(self) -> float:
+        """Width of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` falls inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def percentile_interval(values: Sequence[float], level: float) -> ConfidenceInterval:
+    """Percentile bootstrap interval over a sample of estimates."""
+    array = np.asarray(list(values), dtype=float)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise ModelError("cannot build a confidence interval from no finite values")
+    tail = (1.0 - level) / 2.0 * 100.0
+    low, high = np.percentile(array, [tail, 100.0 - tail])
+    return ConfidenceInterval(low=float(low), high=float(high), level=level)
+
+
+def bootstrap_cutpoints(
+    samples: AudienceSamples,
+    q_percents: Sequence[float],
+    *,
+    n_bootstrap: int,
+    seed: SeedLike = None,
+) -> dict[float, np.ndarray]:
+    """Bootstrap distributions of the N_P cutpoint for several quantiles.
+
+    Returns a mapping from each requested percentile to the array of
+    cutpoints obtained across ``n_bootstrap`` resamples.  Replicates whose
+    fit fails (e.g. a degenerate resample) contribute ``NaN`` and are
+    ignored by :func:`percentile_interval`.
+    """
+    if n_bootstrap < 1:
+        raise ModelError("n_bootstrap must be >= 1")
+    rng = as_generator(seed)
+    qs = [float(q) for q in q_percents]
+    results: dict[float, list[float]] = {q: [] for q in qs}
+    matrix = samples.matrix
+    n_users = samples.n_users
+    for _ in range(n_bootstrap):
+        indices = rng.integers(0, n_users, size=n_users)
+        resampled = matrix[indices]
+        with np.errstate(all="ignore"):
+            vas_rows = np.nanpercentile(resampled, qs, axis=0)
+        vas_rows = np.atleast_2d(vas_rows)
+        for q, vas in zip(qs, vas_rows):
+            try:
+                fit = fit_vas(vas, samples.floor)
+                results[q].append(fit.cutpoint)
+            except ModelError:
+                results[q].append(float("nan"))
+    return {q: np.asarray(values, dtype=float) for q, values in results.items()}

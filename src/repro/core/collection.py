@@ -1,0 +1,94 @@
+"""Audience-size collection from the Ads Manager API.
+
+For every panel user and every number of interests ``N`` in 1..25 the paper
+retrieves, from the Ads Manager API, the Potential Reach of the audience
+formed by the first ``N`` interests of the user's selection (least popular
+or random).  The collector reproduces that loop against the simulated API
+and arranges the results as the users x N matrix consumed by the quantile
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..adsapi import AdsManagerAPI, TargetingSpec
+from ..errors import ModelError
+from ..fdvt.panel import FDVTPanel
+from .quantiles import AudienceSamples
+from .selection import SelectionStrategy
+
+
+class AudienceSizeCollector:
+    """Queries the Ads API for every (user, N) audience of a strategy."""
+
+    def __init__(
+        self,
+        api: AdsManagerAPI,
+        panel: FDVTPanel,
+        *,
+        max_interests: int = 25,
+        locations: Sequence[str] | None = None,
+    ) -> None:
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        platform_limit = api.platform.max_interests_per_audience
+        if max_interests > platform_limit:
+            raise ModelError(
+                f"max_interests ({max_interests}) exceeds the platform limit "
+                f"({platform_limit})"
+            )
+        self._api = api
+        self._panel = panel
+        self._max_interests = max_interests
+        self._locations = tuple(locations) if locations else None
+
+    @property
+    def max_interests(self) -> int:
+        """Largest number of interests combined per user."""
+        return self._max_interests
+
+    def collect(self, strategy: SelectionStrategy) -> AudienceSamples:
+        """Collect the full audience-size matrix for one selection strategy.
+
+        Rows correspond to panel users (in panel order) and column ``k``
+        to combinations of ``k + 1`` interests; entries are ``NaN`` when the
+        user has fewer interests than the column requires.
+        """
+        n_users = len(self._panel)
+        matrix = np.full((n_users, self._max_interests), np.nan, dtype=float)
+        user_ids = []
+        catalog = self._panel.catalog
+        for row, user in enumerate(self._panel):
+            user_ids.append(user.user_id)
+            ordered = strategy.order_interests(user, catalog, self._max_interests)
+            for n_interests in range(1, min(len(ordered), self._max_interests) + 1):
+                spec = TargetingSpec.for_interests(
+                    ordered[:n_interests], locations=self._locations
+                )
+                estimate = self._api.estimate_reach(spec)
+                matrix[row, n_interests - 1] = float(estimate.potential_reach)
+        return AudienceSamples(
+            matrix=matrix,
+            floor=self._api.platform.reach_floor,
+            user_ids=tuple(user_ids),
+        )
+
+    def collect_for_users(
+        self, strategy: SelectionStrategy, user_ids: Sequence[int]
+    ) -> AudienceSamples:
+        """Collect the matrix for a subset of panel users (demographic groups)."""
+        wanted = set(int(uid) for uid in user_ids)
+        users = [user for user in self._panel if user.user_id in wanted]
+        if not users:
+            raise ModelError("no panel users match the requested ids")
+        sub_panel = self._panel.subset(users)
+        collector = AudienceSizeCollector(
+            self._api,
+            sub_panel,
+            max_interests=self._max_interests,
+            locations=self._locations,
+        )
+        return collector.collect(strategy)

@@ -1,0 +1,121 @@
+"""Demographic breakdown of the uniqueness analysis (Appendix C).
+
+The paper repeats the N_0.9 estimation over sub-panels defined by gender
+(Figure 8), Erikson age group (Figure 9) and country of residence
+(Figure 10).  The helpers here build the sub-panels, rerun the model on
+each, and return comparable group estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..adsapi import AdsManagerAPI
+from ..config import UniquenessConfig
+from ..errors import PanelError
+from ..fdvt.appendix_b import LOCATION_ANALYSIS_COUNTRIES
+from ..fdvt.panel import FDVTPanel
+from ..population.demographics import AgeGroup, Gender
+from .results import NPEstimate
+from .selection import SelectionStrategy
+from .uniqueness import UniquenessModel
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """The per-strategy N_P estimates for one demographic group."""
+
+    group_label: str
+    n_users: int
+    estimates: Mapping[str, NPEstimate]
+
+    def estimate_for(self, strategy_name: str) -> NPEstimate:
+        """Estimate for one strategy name ("least_popular" or "random")."""
+        return self.estimates[strategy_name]
+
+
+class DemographicAnalysis:
+    """Runs the uniqueness analysis over demographic sub-panels."""
+
+    def __init__(
+        self,
+        api: AdsManagerAPI,
+        panel: FDVTPanel,
+        strategies: Sequence[SelectionStrategy],
+        *,
+        probability: float = 0.9,
+        config: UniquenessConfig | None = None,
+        locations: Sequence[str] | None = None,
+        min_group_size: int = 10,
+    ) -> None:
+        self._api = api
+        self._panel = panel
+        self._strategies = tuple(strategies)
+        self._probability = probability
+        self._config = config or UniquenessConfig()
+        self._locations = locations
+        self._min_group_size = min_group_size
+
+    # -- group runners -----------------------------------------------------------
+
+    def by_gender(self) -> list[GroupEstimate]:
+        """Figure 8: men vs. women."""
+        groups = {
+            "men": lambda panel: panel.by_gender(Gender.MALE),
+            "women": lambda panel: panel.by_gender(Gender.FEMALE),
+        }
+        return self._run_groups(groups)
+
+    def by_age_group(self) -> list[GroupEstimate]:
+        """Figure 9: adolescence, early adulthood, adulthood.
+
+        The maturity group is excluded, as in the paper, because it holds
+        too few users (19) for a meaningful fit.
+        """
+        groups = {
+            "adolescence": lambda panel: panel.by_age_group(AgeGroup.ADOLESCENCE),
+            "early_adulthood": lambda panel: panel.by_age_group(AgeGroup.EARLY_ADULTHOOD),
+            "adulthood": lambda panel: panel.by_age_group(AgeGroup.ADULTHOOD),
+        }
+        return self._run_groups(groups)
+
+    def by_country(
+        self, countries: Sequence[str] = LOCATION_ANALYSIS_COUNTRIES
+    ) -> list[GroupEstimate]:
+        """Figure 10: countries with more than 100 panellists."""
+        groups = {
+            country: (lambda panel, code=country: panel.by_country(code))
+            for country in countries
+        }
+        return self._run_groups(groups)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _run_groups(
+        self, groups: Mapping[str, Callable[[FDVTPanel], FDVTPanel]]
+    ) -> list[GroupEstimate]:
+        results = []
+        for label, selector in groups.items():
+            try:
+                sub_panel = selector(self._panel)
+            except PanelError:
+                # An empty demographic group (e.g. a country with no
+                # panellists) is simply skipped, like groups below the
+                # minimum size.
+                continue
+            if len(sub_panel) < self._min_group_size:
+                continue
+            model = UniquenessModel(
+                self._api, sub_panel, self._config, locations=self._locations
+            )
+            estimates = {}
+            for strategy in self._strategies:
+                report = model.estimate(strategy, probabilities=[self._probability])
+                estimates[strategy.name] = report.estimate_for(self._probability)
+            results.append(
+                GroupEstimate(
+                    group_label=label, n_users=len(sub_panel), estimates=estimates
+                )
+            )
+        return results

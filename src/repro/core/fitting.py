@@ -1,0 +1,107 @@
+"""Log-log fitting of VAS(Q) and the N_P cutpoint.
+
+The paper fits every quantile vector with
+
+    log10(VAS(Q)) ~ -A * log10(N + 1) + B
+
+and defines ``N_P`` as the number of interests at which the regression line
+crosses an audience size of one, i.e. ``N_P = 10^(B/A) - 1``.
+
+Because the Ads API never reports audiences below its floor (20 users in the
+2017 dataset), the empirical VAS(Q) flattens at the floor.  The paper keeps
+the *first* floored point and drops the rest, making the estimate
+conservative but robust to the floor value — the same rule is applied here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InsufficientDataError, ModelError
+
+
+@dataclass(frozen=True, slots=True)
+class LogLogFit:
+    """Result of fitting ``log10(VAS) = B - A * log10(N + 1)``."""
+
+    slope_a: float
+    intercept_b: float
+    r_squared: float
+    n_points: int
+
+    def __post_init__(self) -> None:
+        if self.n_points < 2:
+            raise ModelError("a fit needs at least two points")
+
+    @property
+    def cutpoint(self) -> float:
+        """``N_P``: the interest count at which the fit crosses audience = 1."""
+        if self.slope_a <= 0:
+            raise ModelError("the fitted slope must be positive to define a cutpoint")
+        return float(10.0 ** (self.intercept_b / self.slope_a) - 1.0)
+
+    def predict(self, n_interests: float) -> float:
+        """Predicted audience size for ``n_interests`` combined interests."""
+        if n_interests < 0:
+            raise ModelError("n_interests must be non-negative")
+        return float(
+            10.0 ** (self.intercept_b - self.slope_a * np.log10(n_interests + 1.0))
+        )
+
+    def predict_many(self, n_interests: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`predict`."""
+        n = np.asarray(n_interests, dtype=float)
+        return 10.0 ** (self.intercept_b - self.slope_a * np.log10(n + 1.0))
+
+
+def truncate_at_floor(vas: np.ndarray, floor: int) -> np.ndarray:
+    """Keep VAS points up to and including the first floored value.
+
+    Values after the first one that reaches the reporting floor carry no
+    information (the API would have reported the floor regardless of the
+    true audience), so they are excluded from the fit.  NaN entries (N
+    values with no samples) are also trimmed.
+    """
+    values = np.asarray(vas, dtype=float)
+    valid = ~np.isnan(values)
+    if not valid.all():
+        first_invalid = int(np.argmax(~valid)) if (~valid).any() else values.size
+        values = values[:first_invalid]
+    at_floor = np.nonzero(values <= floor + 1e-9)[0]
+    if at_floor.size == 0:
+        return values
+    return values[: int(at_floor[0]) + 1]
+
+
+def fit_vas(vas: np.ndarray, floor: int) -> LogLogFit:
+    """Fit the log-log model to one VAS(Q) vector.
+
+    ``vas[k]`` must hold the quantile for ``N = k + 1`` interests.
+    """
+    if floor < 1:
+        raise ModelError("floor must be at least 1")
+    values = truncate_at_floor(vas, floor)
+    if values.size < 2:
+        raise InsufficientDataError(
+            "fewer than two usable VAS points remain after floor truncation"
+        )
+    if np.any(values <= 0):
+        raise ModelError("audience sizes must be positive to fit in log space")
+    n_values = np.arange(1, values.size + 1, dtype=float)
+    x = np.log10(n_values + 1.0)
+    y = np.log10(values)
+    design = np.column_stack([-x, np.ones_like(x)])
+    coefficients, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    slope_a, intercept_b = float(coefficients[0]), float(coefficients[1])
+    predicted = design @ coefficients
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else max(0.0, 1.0 - ss_res / ss_tot)
+    return LogLogFit(
+        slope_a=slope_a,
+        intercept_b=intercept_b,
+        r_squared=r_squared,
+        n_points=int(values.size),
+    )

@@ -1,0 +1,131 @@
+"""Audience-size sample matrices and the AS(Q, N) / VAS(Q) machinery.
+
+Section 4.1 of the paper defines, for every number of interests ``N`` in
+1..25, a vector of audience sizes (one sample per panel user), the quantile
+``AS(Q, N)`` of each vector, and the quantile-vs-N vector
+
+    VAS(Q) = [AS(Q, 1), AS(Q, 2), ..., AS(Q, 25)].
+
+:class:`AudienceSamples` stores the underlying samples as a users x N matrix
+(``NaN`` where a user has fewer than ``N`` interests) so that quantiles,
+bootstrap resampling and per-group subsetting are all cheap array
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator
+from ..errors import InsufficientDataError, ModelError
+
+
+@dataclass(frozen=True)
+class AudienceSamples:
+    """Audience-size samples for combinations of 1..max_interests interests."""
+
+    matrix: np.ndarray
+    floor: int
+    user_ids: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ModelError("the sample matrix must be 2-dimensional (users x N)")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ModelError("the sample matrix must not be empty")
+        if self.floor < 1:
+            raise ModelError("floor must be at least 1")
+        if self.user_ids and len(self.user_ids) != matrix.shape[0]:
+            raise ModelError("user_ids must have one entry per matrix row")
+        object.__setattr__(self, "matrix", matrix)
+
+    # -- basic views -------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Number of panel users contributing samples."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def max_interests(self) -> int:
+        """Largest number of combined interests (the matrix width)."""
+        return int(self.matrix.shape[1])
+
+    def samples_for(self, n_interests: int) -> np.ndarray:
+        """The audience-size vector for ``n_interests`` (NaN rows dropped)."""
+        column = self._column(n_interests)
+        return column[~np.isnan(column)]
+
+    def sample_count(self, n_interests: int) -> int:
+        """Number of users contributing a sample for ``n_interests``."""
+        return int(self.samples_for(n_interests).size)
+
+    # -- quantiles --------------------------------------------------------------------
+
+    def audience_quantile(self, q_percent: float, n_interests: int) -> float:
+        """``AS(Q, N)``: the Q-th percentile of the audience size for N interests."""
+        samples = self.samples_for(n_interests)
+        if samples.size == 0:
+            raise InsufficientDataError(
+                f"no samples available for N={n_interests}"
+            )
+        return float(np.percentile(samples, self._validate_q(q_percent)))
+
+    def vas(self, q_percent: float) -> np.ndarray:
+        """``VAS(Q)``: the quantile vector across N = 1..max_interests."""
+        return self.vas_many([q_percent])[0]
+
+    def vas_many(self, q_percents: Sequence[float]) -> np.ndarray:
+        """Quantile vectors for several Q values at once (rows follow input order)."""
+        qs = [self._validate_q(q) for q in q_percents]
+        with np.errstate(all="ignore"):
+            result = np.nanpercentile(self.matrix, qs, axis=0)
+        return np.atleast_2d(result)
+
+    # -- resampling --------------------------------------------------------------------
+
+    def bootstrap_resample(self, seed: SeedLike = None) -> "AudienceSamples":
+        """Resample users with replacement (one bootstrap replicate)."""
+        rng = as_generator(seed)
+        indices = rng.integers(0, self.n_users, size=self.n_users)
+        ids = tuple(self.user_ids[i] for i in indices) if self.user_ids else ()
+        return AudienceSamples(self.matrix[indices], self.floor, ids)
+
+    def subset_rows(self, row_indices: Sequence[int]) -> "AudienceSamples":
+        """Build a sample matrix restricted to a subset of users."""
+        indices = np.asarray(list(row_indices), dtype=int)
+        if indices.size == 0:
+            raise InsufficientDataError("cannot build an empty subset")
+        ids = tuple(self.user_ids[i] for i in indices) if self.user_ids else ()
+        return AudienceSamples(self.matrix[indices], self.floor, ids)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _column(self, n_interests: int) -> np.ndarray:
+        if not 1 <= n_interests <= self.max_interests:
+            raise ModelError(
+                f"n_interests must lie in [1, {self.max_interests}], got {n_interests}"
+            )
+        return self.matrix[:, n_interests - 1]
+
+    @staticmethod
+    def _validate_q(q_percent: float) -> float:
+        if not 0.0 < q_percent < 100.0:
+            raise ModelError("quantiles must be expressed in percent, within (0, 100)")
+        return float(q_percent)
+
+
+def probability_to_percentile(probability: float) -> float:
+    """Map a uniqueness probability ``P`` to the percentile used for VAS.
+
+    ``N_P`` is derived from the ``P``-quantile of the audience-size
+    distribution: an audience size that is below 1 for the ``P``-th
+    percentile means that a fraction ``P`` of users would be unique.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ModelError("probability must lie in (0, 1)")
+    return probability * 100.0

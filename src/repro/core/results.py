@@ -1,0 +1,96 @@
+"""Result containers for the uniqueness analysis (Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ModelError
+from .bootstrap import ConfidenceInterval
+from .fitting import LogLogFit
+
+
+@dataclass(frozen=True, slots=True)
+class NPEstimate:
+    """The estimate of ``N_P`` for one probability and one strategy."""
+
+    probability: float
+    n_p: float
+    confidence_interval: ConfidenceInterval
+    r_squared: float
+    fit: LogLogFit
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability < 1.0:
+            raise ModelError("probability must lie in (0, 1)")
+        if self.n_p < 0:
+            raise ModelError("N_P must be non-negative")
+
+    @property
+    def required_interests(self) -> int:
+        """Smallest whole number of interests achieving the probability."""
+        return int(np.ceil(self.n_p))
+
+    @property
+    def actionable_on_facebook(self) -> bool:
+        """True when the required interests fit the 25-interest platform cap."""
+        return self.required_interests <= 25
+
+
+@dataclass(frozen=True)
+class UniquenessReport:
+    """Complete output of the uniqueness analysis for one strategy."""
+
+    strategy_name: str
+    estimates: Mapping[float, NPEstimate]
+    vas_curves: Mapping[float, np.ndarray]
+    n_users: int
+    floor: int
+
+    def __post_init__(self) -> None:
+        if not self.estimates:
+            raise ModelError("a report needs at least one N_P estimate")
+
+    def estimate_for(self, probability: float) -> NPEstimate:
+        """The estimate for one probability (e.g. 0.9)."""
+        try:
+            return self.estimates[probability]
+        except KeyError:
+            raise ModelError(
+                f"no estimate available for probability {probability}"
+            ) from None
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """Probabilities covered by the report, ascending."""
+        return tuple(sorted(self.estimates))
+
+    def table_row(self) -> dict:
+        """One row of Table 1 as a serialisable dictionary."""
+        row: dict = {"strategy": self.strategy_name}
+        for probability in self.probabilities:
+            estimate = self.estimates[probability]
+            key = f"P={probability:g}"
+            row[key] = round(estimate.n_p, 2)
+            row[f"{key} 95% CI"] = (
+                round(estimate.confidence_interval.low, 2),
+                round(estimate.confidence_interval.high, 2),
+            )
+            row[f"{key} R2"] = round(estimate.r_squared, 2)
+        return row
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary of the report."""
+        lines = [
+            f"strategy={self.strategy_name} users={self.n_users} floor={self.floor}"
+        ]
+        for probability in self.probabilities:
+            estimate = self.estimates[probability]
+            ci = estimate.confidence_interval
+            lines.append(
+                f"  N_{probability:g} = {estimate.n_p:.2f} "
+                f"(95% CI [{ci.low:.2f}, {ci.high:.2f}], R2={estimate.r_squared:.2f})"
+            )
+        return lines

@@ -1,0 +1,114 @@
+"""Interest-selection strategies (Section 4.2).
+
+The number of interests that make a user unique depends heavily on *which*
+of their interests are combined.  The paper studies two strategies:
+
+* **Least popular (LP)** — the attacker knows the user's full interest list
+  and picks the rarest ones first; this yields the theoretical lower bound
+  on uniqueness.
+* **Random (R)** — the attacker knows a random subset of the user's
+  interests, the realistic attack scenario used in the nanotargeting
+  experiment.
+
+Both strategies return a single *ordered* list per user whose length-``N``
+prefixes are the combinations evaluated for each ``N``; this mirrors the
+paper's construction, where interests are added one by one ("we keep adding
+the following least popular interests sequentially one by one").
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator, derive_generator, stable_hash
+from ..catalog import InterestCatalog
+from ..errors import ModelError
+from ..population.user import SyntheticUser
+
+
+@runtime_checkable
+class SelectionStrategy(Protocol):
+    """Orders a user's interests for incremental combination."""
+
+    #: Short name used in reports ("least_popular" or "random").
+    name: str
+
+    def order_interests(
+        self, user: SyntheticUser, catalog: InterestCatalog, max_interests: int
+    ) -> tuple[int, ...]:
+        """Return up to ``max_interests`` interest ids in combination order."""
+        ...  # pragma: no cover - protocol definition
+
+
+class LeastPopularSelection:
+    """Selects the user's rarest interests first."""
+
+    name = "least_popular"
+
+    def order_interests(
+        self, user: SyntheticUser, catalog: InterestCatalog, max_interests: int
+    ) -> tuple[int, ...]:
+        """Rarest interests of the user, ascending by worldwide audience."""
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        audiences = [(catalog.audience_size(i), i) for i in user.interest_ids]
+        audiences.sort()
+        return tuple(interest_id for _, interest_id in audiences[:max_interests])
+
+
+class RandomSelection:
+    """Selects a random subset of the user's interests.
+
+    Each user gets an independent, deterministic shuffle derived from the
+    strategy seed and the user id, so that repeated runs reproduce the same
+    combinations (and so that bootstrapping over users stays meaningful).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        rng = as_generator(seed)
+        self._base_seed = int(rng.integers(0, 2**62))
+
+    def order_interests(
+        self, user: SyntheticUser, catalog: InterestCatalog, max_interests: int
+    ) -> tuple[int, ...]:
+        """A random permutation of the user's interests, truncated."""
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        rng = derive_generator(self._base_seed, "random-selection", user.user_id)
+        interests = np.array(user.interest_ids, dtype=np.int64)
+        rng.shuffle(interests)
+        return tuple(int(i) for i in interests[:max_interests])
+
+
+def nested_subsets(
+    ordered_interests: Sequence[int], sizes: Sequence[int]
+) -> dict[int, tuple[int, ...]]:
+    """Build the nested interest sets used by the nanotargeting experiment.
+
+    The paper builds its 22-interest campaign from a random selection and
+    derives the 20-, 18-, 12-, 9-, 7- and 5-interest campaigns by removing
+    interests from the previous set; equivalently, every campaign uses a
+    prefix of one ordered list.  Sizes larger than the available list raise.
+    """
+    ordered = tuple(int(i) for i in ordered_interests)
+    if len(set(ordered)) != len(ordered):
+        raise ModelError("ordered_interests must not contain duplicates")
+    subsets: dict[int, tuple[int, ...]] = {}
+    for size in sizes:
+        if size < 1:
+            raise ModelError("subset sizes must be positive")
+        if size > len(ordered):
+            raise ModelError(
+                f"cannot build a subset of {size} interests from only {len(ordered)}"
+            )
+        subsets[int(size)] = ordered[:size]
+    return subsets
+
+
+def strategy_fingerprint(strategy: SelectionStrategy) -> int:
+    """A stable fingerprint used to cache collections per strategy."""
+    return stable_hash(type(strategy).__name__, getattr(strategy, "name", ""))

@@ -1,0 +1,122 @@
+"""The end-to-end uniqueness model (Section 4).
+
+:class:`UniquenessModel` wires together the collection of audience sizes
+from the Ads API, the quantile machinery, the log-log fit and the bootstrap
+confidence intervals, and produces the :class:`UniquenessReport` rows of
+Table 1 plus the VAS(Q) curves of Figures 3-5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .._rng import derive_generator
+from ..adsapi import AdsManagerAPI
+from ..config import UniquenessConfig
+from ..errors import ModelError
+from ..fdvt.panel import FDVTPanel
+from .bootstrap import bootstrap_cutpoints, percentile_interval
+from .collection import AudienceSizeCollector
+from .fitting import fit_vas
+from .quantiles import AudienceSamples, probability_to_percentile
+from .results import NPEstimate, UniquenessReport
+from .selection import SelectionStrategy, strategy_fingerprint
+
+
+class UniquenessModel:
+    """Estimates N_P (the interests making a user unique) on the simulated platform."""
+
+    def __init__(
+        self,
+        api: AdsManagerAPI,
+        panel: FDVTPanel,
+        config: UniquenessConfig | None = None,
+        *,
+        locations: Sequence[str] | None = None,
+    ) -> None:
+        self._api = api
+        self._panel = panel
+        self._config = config or UniquenessConfig()
+        max_interests = min(
+            self._config.max_interests, api.platform.max_interests_per_audience
+        )
+        self._collector = AudienceSizeCollector(
+            api, panel, max_interests=max_interests, locations=locations
+        )
+        self._cache: dict[int, AudienceSamples] = {}
+
+    @property
+    def config(self) -> UniquenessConfig:
+        """The analysis configuration in use."""
+        return self._config
+
+    @property
+    def panel(self) -> FDVTPanel:
+        """The panel the model analyses."""
+        return self._panel
+
+    # -- data collection -----------------------------------------------------------
+
+    def collect(self, strategy: SelectionStrategy, *, refresh: bool = False) -> AudienceSamples:
+        """Collect (or return cached) audience samples for one strategy."""
+        key = strategy_fingerprint(strategy)
+        if refresh or key not in self._cache:
+            self._cache[key] = self._collector.collect(strategy)
+        return self._cache[key]
+
+    # -- estimation -------------------------------------------------------------------
+
+    def estimate(
+        self,
+        strategy: SelectionStrategy,
+        *,
+        probabilities: Sequence[float] | None = None,
+        samples: AudienceSamples | None = None,
+    ) -> UniquenessReport:
+        """Estimate N_P for every requested probability under one strategy."""
+        if probabilities is None:
+            probabilities = self._config.probabilities
+        probabilities = tuple(probabilities)
+        if not probabilities:
+            raise ModelError("at least one probability is required")
+        samples = samples if samples is not None else self.collect(strategy)
+        percentiles = [probability_to_percentile(p) for p in probabilities]
+        vas_rows = samples.vas_many(percentiles)
+        bootstrap_seed = derive_generator(
+            self._config.seed, "bootstrap", strategy.name
+        )
+        cutpoint_distributions = bootstrap_cutpoints(
+            samples,
+            percentiles,
+            n_bootstrap=self._config.n_bootstrap,
+            seed=bootstrap_seed,
+        )
+        estimates = {}
+        vas_curves = {}
+        for probability, percentile, vas in zip(probabilities, percentiles, vas_rows):
+            fit = fit_vas(vas, samples.floor)
+            interval = percentile_interval(
+                cutpoint_distributions[percentile], self._config.confidence_level
+            )
+            estimates[probability] = NPEstimate(
+                probability=probability,
+                n_p=fit.cutpoint,
+                confidence_interval=interval,
+                r_squared=fit.r_squared,
+                fit=fit,
+            )
+            vas_curves[probability] = vas
+        return UniquenessReport(
+            strategy_name=strategy.name,
+            estimates=estimates,
+            vas_curves=vas_curves,
+            n_users=samples.n_users,
+            floor=samples.floor,
+        )
+
+    def estimate_single(
+        self, strategy: SelectionStrategy, probability: float
+    ) -> NPEstimate:
+        """Convenience wrapper returning the estimate for one probability."""
+        report = self.estimate(strategy, probabilities=[probability])
+        return report.estimate_for(probability)

@@ -1,0 +1,21 @@
+"""Platform-side countermeasures against nanotargeting (Section 8.3)."""
+
+from .evaluation import (
+    CountermeasureEffectiveness,
+    WorkloadImpact,
+    evaluate_attack_protection,
+    evaluate_workload_impact,
+    run_protected_experiment,
+)
+from .rules import InterestCapRule, MinActiveAudienceRule, recommended_rules
+
+__all__ = [
+    "CountermeasureEffectiveness",
+    "InterestCapRule",
+    "MinActiveAudienceRule",
+    "WorkloadImpact",
+    "evaluate_attack_protection",
+    "evaluate_workload_impact",
+    "recommended_rules",
+    "run_protected_experiment",
+]

@@ -1,0 +1,114 @@
+"""Evaluation of the proposed countermeasures.
+
+Two questions matter for Section 8.3:
+
+1. *Effectiveness* — with the rules enabled, how many of the paper's
+   nanotargeting campaigns would still run (and succeed)?
+2. *Advertiser impact* — what fraction of a realistic benign advertiser
+   workload would the rules reject?  The paper argues (based on DSP data)
+   that fewer than 1% of campaigns combine more than 9 interests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..adsapi import AdsManagerAPI, PlatformPolicy
+from ..adsapi.policy import CampaignRule
+from ..adsapi.targeting import TargetingSpec
+from ..core.nanotargeting import ExperimentReport, NanotargetingExperiment
+from ..delivery import DeliveryEngine
+from ..errors import ModelError
+from ..population.user import SyntheticUser
+
+
+@dataclass(frozen=True)
+class CountermeasureEffectiveness:
+    """Attack-side impact of enabling a set of rules."""
+
+    baseline_successes: int
+    protected_successes: int
+    rejected_campaigns: int
+    total_campaigns: int
+
+    @property
+    def attack_reduction(self) -> float:
+        """Fraction of successful attacks eliminated by the countermeasures."""
+        if self.baseline_successes == 0:
+            return 0.0
+        return 1.0 - self.protected_successes / self.baseline_successes
+
+
+@dataclass(frozen=True)
+class WorkloadImpact:
+    """Benign-advertiser impact of enabling a set of rules."""
+
+    total_campaigns: int
+    rejected_campaigns: int
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of benign campaigns rejected by the rules."""
+        if self.total_campaigns == 0:
+            return 0.0
+        return self.rejected_campaigns / self.total_campaigns
+
+
+def evaluate_attack_protection(
+    baseline_report: ExperimentReport,
+    protected_report: ExperimentReport,
+) -> CountermeasureEffectiveness:
+    """Compare an experiment run with and without countermeasures."""
+    return CountermeasureEffectiveness(
+        baseline_successes=baseline_report.success_count,
+        protected_successes=protected_report.success_count,
+        rejected_campaigns=sum(1 for r in protected_report.records if r.rejected),
+        total_campaigns=protected_report.n_campaigns,
+    )
+
+
+def run_protected_experiment(
+    api: AdsManagerAPI,
+    engine: DeliveryEngine,
+    targets: Sequence[SyntheticUser],
+    rules: Sequence[CampaignRule],
+    *,
+    experiment: NanotargetingExperiment | None = None,
+) -> ExperimentReport:
+    """Re-run the nanotargeting experiment with countermeasure rules installed.
+
+    The rules are appended to the API's policy for the duration of the run
+    and removed afterwards.
+    """
+    if not rules:
+        raise ModelError("at least one countermeasure rule is required")
+    policy: PlatformPolicy = api.policy
+    experiment = experiment or NanotargetingExperiment(api, engine)
+    installed = list(rules)
+    policy.rules.extend(installed)
+    try:
+        return experiment.run(targets)
+    finally:
+        for rule in installed:
+            policy.rules.remove(rule)
+
+
+def evaluate_workload_impact(
+    api: AdsManagerAPI,
+    specs: Sequence[TargetingSpec],
+    rules: Sequence[CampaignRule],
+) -> WorkloadImpact:
+    """Fraction of a benign campaign workload the rules would reject."""
+    if not specs:
+        raise ModelError("the workload must contain at least one campaign spec")
+    rejected = 0
+    for spec in specs:
+        raw = api.backend.audience_for(
+            spec.interests, spec.effective_locations(), combine=spec.interest_combine
+        )
+        for rule in rules:
+            if rule.evaluate(spec, raw, raw) is not None:
+                rejected += 1
+                break
+    return WorkloadImpact(total_campaigns=len(specs), rejected_campaigns=rejected)

@@ -1,0 +1,31 @@
+"""Ad campaign objects and the delivery simulator."""
+
+from .auction import AuctionModel
+from .campaign import Campaign, CampaignStatus
+from .clicklog import ClickLog, ClickLogEntry, pseudonymize_ip
+from .creative import AdCreative
+from .disclosure import AdDisclosure, build_disclosure
+from .engine import DeliveryConfig, DeliveryEngine, DeliveryOutcome
+from .events import ClickEvent, ImpressionEvent
+from .metrics import CampaignMetrics
+from .schedule import CampaignSchedule, TimeWindow
+
+__all__ = [
+    "AdCreative",
+    "AdDisclosure",
+    "AuctionModel",
+    "Campaign",
+    "CampaignMetrics",
+    "CampaignSchedule",
+    "CampaignStatus",
+    "ClickEvent",
+    "ClickLog",
+    "ClickLogEntry",
+    "DeliveryConfig",
+    "DeliveryEngine",
+    "DeliveryOutcome",
+    "ImpressionEvent",
+    "TimeWindow",
+    "build_disclosure",
+    "pseudonymize_ip",
+]

@@ -1,0 +1,71 @@
+"""Auction and budget-pacing model.
+
+Facebook prices impressions through an auction; the effective CPM an
+advertiser pays varies per campaign with the competitiveness of its
+audience.  The paper's Table 2 exhibits CPMs roughly between 0.3 and 10 EUR
+(40k impressions for ~29 EUR at the cheap end; one impression billed 0.01
+EUR — or not billed at all — at the expensive end).  The model here samples
+a per-campaign CPM from a log-normal around the configured value and paces a
+daily budget uniformly over the active hours of each day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator
+from ..errors import DeliveryError
+
+
+@dataclass(frozen=True)
+class AuctionModel:
+    """Samples campaign CPMs and converts budget into impression capacity."""
+
+    base_cpm_eur: float = 0.75
+    cpm_log10_sigma: float = 0.22
+    active_hours_per_day: float = 12.0
+    minimum_billable_eur: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.base_cpm_eur <= 0:
+            raise DeliveryError("base_cpm_eur must be positive")
+        if self.cpm_log10_sigma < 0:
+            raise DeliveryError("cpm_log10_sigma must be non-negative")
+        if self.active_hours_per_day <= 0:
+            raise DeliveryError("active_hours_per_day must be positive")
+
+    def sample_cpm(self, seed: SeedLike = None) -> float:
+        """Sample the effective CPM (EUR per 1000 impressions) for one campaign."""
+        rng = as_generator(seed)
+        return float(
+            self.base_cpm_eur * 10.0 ** rng.normal(0.0, self.cpm_log10_sigma)
+        )
+
+    def hourly_budget(self, daily_budget_eur: float) -> float:
+        """Budget available per active hour under uniform pacing."""
+        if daily_budget_eur <= 0:
+            raise DeliveryError("daily_budget_eur must be positive")
+        return daily_budget_eur / self.active_hours_per_day
+
+    def impressions_for_budget(self, budget_eur: float, cpm_eur: float) -> float:
+        """Impression capacity a budget can buy at ``cpm_eur``."""
+        if cpm_eur <= 0:
+            raise DeliveryError("cpm_eur must be positive")
+        return max(0.0, budget_eur) / cpm_eur * 1000.0
+
+    def billed_cost(self, impressions: int, cpm_eur: float) -> float:
+        """Amount billed for ``impressions`` at ``cpm_eur``.
+
+        Costs are billed in whole cents; campaigns whose accrued cost rounds
+        below one cent are not billed at all, matching the "Free" rows of
+        Table 2.
+        """
+        if impressions < 0:
+            raise DeliveryError("impressions must be non-negative")
+        raw = impressions * cpm_eur / 1000.0
+        cents = int(np.floor(raw * 100.0 + 1e-9))
+        if cents == 0 and impressions > 0 and raw >= self.minimum_billable_eur / 2.0:
+            cents = 1
+        return cents / 100.0

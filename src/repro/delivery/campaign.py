@@ -1,0 +1,51 @@
+"""Ad campaigns."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from ..adsapi.targeting import TargetingSpec
+from ..errors import DeliveryError
+from .creative import AdCreative
+from .schedule import CampaignSchedule
+
+
+class CampaignStatus(enum.Enum):
+    """Lifecycle states of a campaign."""
+
+    DRAFT = "draft"
+    ACTIVE = "active"
+    STOPPED = "stopped"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True, slots=True)
+class Campaign:
+    """An ad campaign: audience, creative, schedule and budget."""
+
+    campaign_id: str
+    spec: TargetingSpec
+    creative: AdCreative
+    schedule: CampaignSchedule
+    daily_budget_eur: float
+    initial_budget_eur: float
+    status: CampaignStatus = CampaignStatus.DRAFT
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id:
+            raise DeliveryError("campaign_id must not be empty")
+        if self.daily_budget_eur <= 0:
+            raise DeliveryError("daily_budget_eur must be positive")
+        if self.initial_budget_eur <= 0:
+            raise DeliveryError("initial_budget_eur must be positive")
+
+    @property
+    def interest_count(self) -> int:
+        """Number of interests in the campaign's audience definition."""
+        return self.spec.interest_count
+
+    def with_status(self, status: CampaignStatus) -> "Campaign":
+        """Return a copy with a different lifecycle status."""
+        return replace(self, status=status)

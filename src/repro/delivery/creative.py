@@ -1,0 +1,50 @@
+"""Ad creatives.
+
+Each of the paper's 21 campaigns used a dedicated creative that identified
+the targeted user and the number of interests used (Figure 6), and linked to
+a dedicated landing page so that clicks could be attributed unambiguously to
+one campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeliveryError
+
+
+@dataclass(frozen=True, slots=True)
+class AdCreative:
+    """An ad creative with its dedicated landing page."""
+
+    creative_id: str
+    title: str
+    body: str
+    landing_url: str
+
+    def __post_init__(self) -> None:
+        if not self.creative_id:
+            raise DeliveryError("creative_id must not be empty")
+        if not self.landing_url:
+            raise DeliveryError("landing_url must not be empty")
+
+    @staticmethod
+    def for_experiment(target_label: str, n_interests: int) -> "AdCreative":
+        """Build the experiment creative for one (target, interest count) pair.
+
+        Mirrors the paper's convention: the creative text identifies both the
+        targeted user and the number of interests, and the landing page is
+        unique per campaign.
+        """
+        if n_interests < 1:
+            raise DeliveryError("n_interests must be positive")
+        slug = f"{target_label.lower().replace(' ', '-')}-{n_interests}-interests"
+        return AdCreative(
+            creative_id=f"creative-{slug}",
+            title="FDVT: know what your data is worth",
+            body=(
+                "Install the FDVT browser extension to estimate the revenue you "
+                f"generate for Facebook. [{target_label} / {n_interests} interests]"
+            ),
+            landing_url=f"https://fdvt.example.org/landing/{slug}",
+        )

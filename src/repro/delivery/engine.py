@@ -1,0 +1,306 @@
+"""The ad-delivery engine.
+
+The engine simulates how Facebook delivers a campaign over its schedule:
+
+1. a per-campaign CPM is drawn from the auction model and the daily budget
+   is paced uniformly over the active hours of each day;
+2. the platform concentrates delivery on a *delivery pool* — a subset of the
+   eligible audience sized so that pool members receive a handful of
+   impressions each (this is what produces the 2.5-6 impressions-per-user
+   frequencies of Table 2, and what makes huge audiences miss the target);
+3. hour by hour, impressions are drawn subject to the budget, to audience
+   activity and to a frequency cap, unique reach accumulates following an
+   occupancy process, and the targeted user's first impression time is
+   recorded when it happens;
+4. the targeted user clicks every impression they receive (the experiment
+   protocol of Section 5.1) and other users click with a small CTR; every
+   click lands on the campaign's dedicated landing page and is recorded in
+   the pseudonymised click log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator, stable_hash
+from ..catalog import InterestCatalog
+from ..errors import DeliveryError
+from .auction import AuctionModel
+from .campaign import Campaign
+from .clicklog import ClickLog
+from .disclosure import AdDisclosure, build_disclosure
+from .events import ClickEvent, ImpressionEvent
+from .metrics import CampaignMetrics
+
+
+@dataclass(frozen=True)
+class DeliveryConfig:
+    """Tunables of the delivery simulation."""
+
+    hourly_activity: float = 0.35
+    frequency_cap: int = 6
+    target_frequency: float = 3.0
+    non_target_ctr: float = 0.001
+    target_devices: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hourly_activity <= 1.0:
+            raise DeliveryError("hourly_activity must lie in (0, 1]")
+        if self.frequency_cap < 1:
+            raise DeliveryError("frequency_cap must be >= 1")
+        if self.target_frequency <= 0:
+            raise DeliveryError("target_frequency must be positive")
+        if not 0.0 <= self.non_target_ctr <= 1.0:
+            raise DeliveryError("non_target_ctr must lie in [0, 1]")
+        if self.target_devices < 1:
+            raise DeliveryError("target_devices must be >= 1")
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Everything produced by simulating one campaign."""
+
+    campaign: Campaign
+    metrics: CampaignMetrics
+    raw_audience: float
+    delivery_pool_size: float
+    target_impressions: int
+    target_impression_events: tuple[ImpressionEvent, ...] = ()
+    click_events: tuple[ClickEvent, ...] = ()
+    disclosure: AdDisclosure | None = None
+
+
+class DeliveryEngine:
+    """Simulates campaign delivery against an audience of a known size."""
+
+    def __init__(
+        self,
+        catalog: InterestCatalog,
+        *,
+        auction: AuctionModel | None = None,
+        config: DeliveryConfig | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._catalog = catalog
+        self._auction = auction or AuctionModel()
+        self._config = config or DeliveryConfig()
+        self._rng = as_generator(seed)
+
+    @property
+    def auction(self) -> AuctionModel:
+        """The auction/pacing model in use."""
+        return self._auction
+
+    @property
+    def config(self) -> DeliveryConfig:
+        """The delivery tunables in use."""
+        return self._config
+
+    def run(
+        self,
+        campaign: Campaign,
+        *,
+        audience_size: float,
+        target_user_id: int,
+        target_in_audience: bool = True,
+        click_log: ClickLog | None = None,
+    ) -> DeliveryOutcome:
+        """Simulate the delivery of ``campaign``.
+
+        Parameters
+        ----------
+        audience_size:
+            Raw (unfloored) audience size of the campaign's targeting spec.
+        target_user_id:
+            The user the attacker wants to reach.
+        target_in_audience:
+            Whether the target actually matches the audience definition
+            (true whenever the interests were taken from the target's own
+            ad-preference list).
+        click_log:
+            Web-server click log shared across campaigns; clicks are
+            recorded into it when provided.
+        """
+        if audience_size < 0:
+            raise DeliveryError("audience_size must be non-negative")
+        config = self._config
+        rng = np.random.default_rng(
+            stable_hash("delivery", campaign.campaign_id, int(self._rng.integers(2**32)))
+            % (2**63)
+        )
+        cpm = self._auction.sample_cpm(rng)
+        hourly_budget = self._auction.hourly_budget(campaign.daily_budget_eur)
+        hourly_capacity = self._auction.impressions_for_budget(hourly_budget, cpm)
+        active_hours = list(campaign.schedule.active_hours())
+        if not active_hours:
+            raise DeliveryError("the campaign schedule has no active hours")
+
+        effective_audience = audience_size
+        if target_in_audience:
+            effective_audience = max(1.0, audience_size)
+        if effective_audience <= 0:
+            return self._empty_outcome(campaign, audience_size)
+
+        total_capacity = hourly_capacity * len(active_hours)
+        pool_size = min(
+            effective_audience, max(1.0, total_capacity / config.target_frequency)
+        )
+        target_in_pool = False
+        if target_in_audience:
+            target_in_pool = rng.random() < min(1.0, pool_size / effective_audience)
+
+        impressions_total = 0
+        reached = 0
+        target_impressions = 0
+        target_events: list[ImpressionEvent] = []
+        click_events: list[ClickEvent] = []
+        tfi_hours: float | None = None
+        frequency_budget = pool_size * config.frequency_cap
+        target_ips = [
+            f"198.51.{rng.integers(0, 255)}.{rng.integers(1, 255)}"
+            for _ in range(config.target_devices)
+        ]
+
+        for hour in active_hours:
+            remaining_frequency = max(0.0, frequency_budget - impressions_total)
+            capacity = min(
+                hourly_capacity, pool_size * config.hourly_activity, remaining_frequency
+            )
+            if capacity <= 0:
+                continue
+            impressions_hour = int(rng.poisson(capacity)) if capacity < 1e6 else int(capacity)
+            impressions_hour = min(impressions_hour, int(remaining_frequency) + 1)
+            if impressions_hour <= 0:
+                continue
+            impressions_total += impressions_hour
+
+            # Unique-reach occupancy process over the delivery pool.
+            pool_members = max(1, int(round(pool_size)))
+            unreached = max(0, pool_members - reached)
+            hit_probability = 1.0 - np.exp(-impressions_hour / pool_size)
+            reached += int(rng.binomial(unreached, min(1.0, hit_probability)))
+
+            if target_in_pool:
+                target_hit = rng.random() < min(1.0, hit_probability)
+                if target_hit:
+                    impression_hour = hour + float(rng.uniform(0.0, 1.0))
+                    if tfi_hours is None:
+                        tfi_hours = campaign.schedule.elapsed_active_hours(impression_hour)
+                    if target_impressions < config.frequency_cap:
+                        target_impressions += 1
+                        event = ImpressionEvent(
+                            campaign_id=campaign.campaign_id,
+                            user_id=target_user_id,
+                            hour=impression_hour,
+                            is_target=True,
+                        )
+                        target_events.append(event)
+                        click_events.append(
+                            self._target_click(campaign, event, target_ips, rng)
+                        )
+
+        seen = tfi_hours is not None
+        if seen:
+            reached = max(reached, 1)
+        reached = min(reached, max(1, int(round(pool_size))))
+        impressions_total = max(impressions_total, reached, target_impressions)
+        non_target_impressions = impressions_total - target_impressions
+        non_target_clicks = int(rng.binomial(max(0, non_target_impressions), config.non_target_ctr))
+        click_events.extend(
+            self._non_target_clicks(campaign, non_target_clicks, active_hours, rng)
+        )
+        cost = self._auction.billed_cost(impressions_total, cpm)
+        if click_log is not None:
+            for click in click_events:
+                click_log.record(
+                    campaign_id=click.campaign_id,
+                    landing_url=campaign.creative.landing_url,
+                    hour=click.hour,
+                    ip_address=click.ip_address,
+                    is_target=click.is_target,
+                )
+        unique_ips = len({click.ip_address for click in click_events})
+        metrics = CampaignMetrics(
+            seen=seen,
+            reached=reached,
+            impressions=impressions_total,
+            time_to_first_impression_hours=tfi_hours,
+            cost_eur=cost,
+            clicks=len(click_events),
+            unique_click_ips=unique_ips,
+        )
+        disclosure = None
+        if seen:
+            disclosure = build_disclosure(
+                campaign, self._catalog, captured_at_hour=tfi_hours or 0.0
+            )
+        return DeliveryOutcome(
+            campaign=campaign,
+            metrics=metrics,
+            raw_audience=audience_size,
+            delivery_pool_size=pool_size,
+            target_impressions=target_impressions,
+            target_impression_events=tuple(target_events),
+            click_events=tuple(click_events),
+            disclosure=disclosure,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _target_click(
+        self,
+        campaign: Campaign,
+        impression: ImpressionEvent,
+        target_ips: list[str],
+        rng: np.random.Generator,
+    ) -> ClickEvent:
+        ip = target_ips[int(rng.integers(0, len(target_ips)))]
+        return ClickEvent(
+            campaign_id=campaign.campaign_id,
+            user_id=impression.user_id,
+            hour=impression.hour,
+            is_target=True,
+            ip_address=ip,
+        )
+
+    def _non_target_clicks(
+        self,
+        campaign: Campaign,
+        n_clicks: int,
+        active_hours: list[float],
+        rng: np.random.Generator,
+    ) -> list[ClickEvent]:
+        clicks = []
+        for index in range(n_clicks):
+            hour = float(active_hours[int(rng.integers(0, len(active_hours)))])
+            ip = f"203.0.{rng.integers(0, 255)}.{rng.integers(1, 255)}"
+            clicks.append(
+                ClickEvent(
+                    campaign_id=campaign.campaign_id,
+                    user_id=-(index + 1),
+                    hour=hour + float(rng.uniform(0.0, 1.0)),
+                    is_target=False,
+                    ip_address=ip,
+                )
+            )
+        return clicks
+
+    def _empty_outcome(self, campaign: Campaign, audience_size: float) -> DeliveryOutcome:
+        metrics = CampaignMetrics(
+            seen=False,
+            reached=0,
+            impressions=0,
+            time_to_first_impression_hours=None,
+            cost_eur=0.0,
+            clicks=0,
+            unique_click_ips=0,
+        )
+        return DeliveryOutcome(
+            campaign=campaign,
+            metrics=metrics,
+            raw_audience=audience_size,
+            delivery_pool_size=0.0,
+            target_impressions=0,
+        )

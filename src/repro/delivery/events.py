@@ -1,0 +1,26 @@
+"""Delivery events: impressions and clicks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ImpressionEvent:
+    """One ad impression delivered to one user."""
+
+    campaign_id: str
+    user_id: int
+    hour: float
+    is_target: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ClickEvent:
+    """One click on an ad, landing on the campaign's dedicated page."""
+
+    campaign_id: str
+    user_id: int
+    hour: float
+    is_target: bool
+    ip_address: str

@@ -1,0 +1,67 @@
+"""Campaign performance metrics (the columns of Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeliveryError
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignMetrics:
+    """Dashboard metrics of one finished campaign.
+
+    Attributes mirror the columns of Table 2 in the paper:
+
+    * ``seen`` — whether the targeted user received the ad at least once;
+    * ``reached`` — unique users reached, as reported by the dashboard;
+    * ``impressions`` — total ad impressions delivered;
+    * ``time_to_first_impression_hours`` — elapsed *active* campaign hours
+      until the target's first impression (``None`` when never seen);
+    * ``cost_eur`` — amount billed;
+    * ``clicks`` — total clicks on the ad;
+    * ``unique_click_ips`` — distinct pseudonymised IPs among those clicks.
+    """
+
+    seen: bool
+    reached: int
+    impressions: int
+    time_to_first_impression_hours: float | None
+    cost_eur: float
+    clicks: int
+    unique_click_ips: int
+
+    def __post_init__(self) -> None:
+        if self.reached < 0 or self.impressions < 0 or self.clicks < 0:
+            raise DeliveryError("counts must be non-negative")
+        if self.impressions < self.reached:
+            raise DeliveryError("impressions cannot be lower than unique users reached")
+        if self.cost_eur < 0:
+            raise DeliveryError("cost must be non-negative")
+        if self.seen and self.time_to_first_impression_hours is None:
+            raise DeliveryError("a seen campaign must report its TFI")
+        if not self.seen and self.time_to_first_impression_hours is not None:
+            raise DeliveryError("an unseen campaign cannot report a TFI")
+        if self.unique_click_ips > self.clicks:
+            raise DeliveryError("unique click IPs cannot exceed clicks")
+
+    @property
+    def exclusively_reached_one_user(self) -> bool:
+        """True when the campaign reached exactly one unique user."""
+        return self.reached == 1
+
+    def format_tfi(self) -> str:
+        """Human-readable TFI (e.g. ``"2h 11'"``), or ``"-"`` when unseen."""
+        if self.time_to_first_impression_hours is None:
+            return "-"
+        hours = int(self.time_to_first_impression_hours)
+        minutes = int(round((self.time_to_first_impression_hours - hours) * 60))
+        if minutes == 60:
+            hours, minutes = hours + 1, 0
+        if hours == 0:
+            return f"{minutes}'"
+        return f"{hours}h {minutes}'"
+
+    def format_cost(self) -> str:
+        """Human-readable cost (``"Free"`` when nothing was billed)."""
+        return "Free" if self.cost_eur == 0 else f"€{self.cost_eur:.2f}"

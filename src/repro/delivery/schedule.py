@@ -1,0 +1,92 @@
+"""Campaign schedules.
+
+The paper ran every campaign for 33 active hours split over four windows
+(Thu 19-21h, Fri 9-21h, Mon 9-21h, Tue 9-16h CET).  The schedule object
+enumerates active hours so the delivery engine can pace budget over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import DeliveryError
+
+
+@dataclass(frozen=True, slots=True)
+class TimeWindow:
+    """A contiguous active window, in absolute simulated hours."""
+
+    start_hour: float
+    end_hour: float
+
+    def __post_init__(self) -> None:
+        if self.end_hour <= self.start_hour:
+            raise DeliveryError("a time window must end after it starts")
+
+    @property
+    def duration_hours(self) -> float:
+        """Length of the window in hours."""
+        return self.end_hour - self.start_hour
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignSchedule:
+    """An ordered, non-overlapping sequence of active windows."""
+
+    windows: tuple[TimeWindow, ...]
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise DeliveryError("a schedule needs at least one window")
+        previous_end = None
+        for window in self.windows:
+            if previous_end is not None and window.start_hour < previous_end:
+                raise DeliveryError("schedule windows must be ordered and non-overlapping")
+            previous_end = window.end_hour
+
+    @property
+    def total_active_hours(self) -> float:
+        """Total number of active hours across all windows."""
+        return sum(window.duration_hours for window in self.windows)
+
+    @property
+    def span_days(self) -> float:
+        """Wall-clock span of the schedule in days."""
+        return (self.windows[-1].end_hour - self.windows[0].start_hour) / 24.0
+
+    def active_hours(self) -> Iterator[float]:
+        """Yield the absolute start hour of every active hour slot."""
+        for window in self.windows:
+            hour = window.start_hour
+            while hour < window.end_hour - 1e-9:
+                yield hour
+                hour += 1.0
+
+    def elapsed_active_hours(self, absolute_hour: float) -> float:
+        """Active hours elapsed from the schedule start until ``absolute_hour``.
+
+        This is the "effective campaign time" used to compute the Time to
+        First Impression: paused periods do not count.
+        """
+        elapsed = 0.0
+        for window in self.windows:
+            if absolute_hour <= window.start_hour:
+                break
+            elapsed += min(absolute_hour, window.end_hour) - window.start_hour
+        return elapsed
+
+    @staticmethod
+    def paper_schedule() -> "CampaignSchedule":
+        """The four-window, 33-hour schedule used in Section 5.1.
+
+        Hour 0 is Thursday 00:00 of the launch week.
+        """
+        return CampaignSchedule(
+            windows=(
+                TimeWindow(start_hour=19.0, end_hour=21.0),          # Thu 19-21h
+                TimeWindow(start_hour=33.0, end_hour=45.0),          # Fri 9-21h
+                TimeWindow(start_hour=105.0, end_hour=117.0),        # Mon 9-21h
+                TimeWindow(start_hour=129.0, end_hour=136.0),        # Tue 9-16h
+            )
+        )

@@ -1,0 +1,90 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains inconsistent or invalid values."""
+
+
+class CalibrationError(ReproError):
+    """A calibration routine failed to reach its target within tolerance."""
+
+
+class CatalogError(ReproError):
+    """The interest catalog was queried for an unknown interest or built badly."""
+
+
+class UnknownInterestError(CatalogError):
+    """An interest id is not present in the catalog."""
+
+    def __init__(self, interest_id: int) -> None:
+        super().__init__(f"unknown interest id: {interest_id}")
+        self.interest_id = interest_id
+
+
+class PopulationError(ReproError):
+    """The synthetic population could not be built or queried."""
+
+
+class PanelError(ReproError):
+    """The FDVT panel could not be built or queried."""
+
+
+class AdsApiError(ReproError):
+    """Base class for errors returned by the simulated Ads Manager API."""
+
+
+class TargetingValidationError(AdsApiError):
+    """A targeting specification violates a platform limit."""
+
+
+class UnknownLocationError(TargetingValidationError):
+    """A location code is not part of the supported country set."""
+
+    def __init__(self, code: str) -> None:
+        super().__init__(f"unknown location code: {code!r}")
+        self.code = code
+
+
+class RateLimitExceededError(AdsApiError):
+    """The API rate limiter rejected a request."""
+
+    def __init__(self, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"rate limit exceeded; retry after {retry_after_seconds:.2f}s"
+        )
+        self.retry_after_seconds = retry_after_seconds
+
+
+class AccountSuspendedError(AdsApiError):
+    """The advertiser account has been suspended by the platform policy."""
+
+
+class CampaignRejectedError(AdsApiError):
+    """A campaign was rejected, e.g. by an enabled countermeasure rule."""
+
+
+class CustomAudienceError(AdsApiError):
+    """A custom audience violates the platform requirements (e.g. size < 100)."""
+
+
+class DeliveryError(ReproError):
+    """The delivery engine was driven with inconsistent inputs."""
+
+
+class ModelError(ReproError):
+    """The uniqueness model could not be estimated from the provided samples."""
+
+
+class InsufficientDataError(ModelError):
+    """Too few usable data points remain to fit the uniqueness model."""

@@ -1,0 +1,37 @@
+"""FDVT browser-extension simulation: panel, risk view and revenue model."""
+
+from .appendix_b import (
+    LOCATION_ANALYSIS_COUNTRIES,
+    PANEL_COUNTRY_COUNTS,
+    country_list,
+    expanded_country_assignments,
+    total_panel_users,
+)
+from .extension import AdPreferencesSnapshot, FDVTExtension
+from .interface import InterestRiskEntry, InterestStatus, RiskReport
+from .panel import FDVTPanel, PanelBuilder, popularity_bias_for
+from .revenue import RevenueEstimate, RevenueEstimator, country_tier
+from .risk import DEFAULT_THRESHOLDS, RiskLevel, RiskThresholds, classify_audience
+
+__all__ = [
+    "AdPreferencesSnapshot",
+    "DEFAULT_THRESHOLDS",
+    "FDVTExtension",
+    "FDVTPanel",
+    "InterestRiskEntry",
+    "InterestStatus",
+    "LOCATION_ANALYSIS_COUNTRIES",
+    "PANEL_COUNTRY_COUNTS",
+    "PanelBuilder",
+    "RevenueEstimate",
+    "RevenueEstimator",
+    "RiskLevel",
+    "RiskReport",
+    "RiskThresholds",
+    "classify_audience",
+    "country_list",
+    "country_tier",
+    "expanded_country_assignments",
+    "popularity_bias_for",
+    "total_panel_users",
+]

@@ -1,0 +1,51 @@
+"""Appendix B (Table 4): FDVT panel users per country.
+
+The 2,390 panellists that installed the FDVT browser extension before
+January 2017 were spread over 80 countries; this module reproduces the exact
+breakdown published in the paper's Appendix B, which the synthetic panel
+generator uses as its country marginal.
+"""
+
+from __future__ import annotations
+
+#: Users per country in the FDVT panel (Table 4 of the paper).
+PANEL_COUNTRY_COUNTS: dict[str, int] = {
+    "ES": 1131, "FR": 335, "MX": 122, "AR": 115, "EC": 89, "PE": 78,
+    "CA": 61, "CO": 48, "US": 40, "BE": 36, "UY": 35, "GB": 26,
+    "CH": 24, "PT": 21, "VE": 18, "SV": 17, "CL": 14, "PY": 13,
+    "DE": 11, "IT": 11, "BO": 9, "MA": 8, "BR": 6, "GT": 6,
+    "HN": 6, "NI": 6, "NL": 6, "PA": 6, "TN": 6, "BD": 5,
+    "SE": 4, "TH": 4, "AD": 3, "AT": 3, "DK": 3, "DZ": 3,
+    "FI": 3, "PK": 3, "SN": 3, "AF": 2, "AU": 2, "CY": 2,
+    "DO": 2, "GR": 2, "HK": 2, "ID": 2, "IE": 2, "LU": 2,
+    "PL": 2, "RE": 2, "AL": 1, "AM": 1, "AO": 1, "AX": 1,
+    "BG": 1, "BT": 1, "CI": 1, "CR": 1, "CZ": 1, "DJ": 1,
+    "GI": 1, "GN": 1, "IN": 1, "IQ": 1, "LK": 1, "LT": 1,
+    "MG": 1, "MO": 1, "MU": 1, "NC": 1, "NP": 1, "NZ": 1,
+    "PH": 1, "PM": 1, "PR": 1, "RO": 1, "RS": 1, "RU": 1,
+    "RW": 1, "TW": 1,
+}
+
+#: Countries with more than 100 panellists, used for the Appendix C
+#: location analysis (Figure 10).
+LOCATION_ANALYSIS_COUNTRIES: tuple[str, ...] = ("ES", "FR", "MX", "AR")
+
+
+def total_panel_users() -> int:
+    """Total number of panellists across all countries (2,390)."""
+    return sum(PANEL_COUNTRY_COUNTS.values())
+
+
+def country_list() -> tuple[str, ...]:
+    """Country codes sorted by descending panel population."""
+    return tuple(
+        sorted(PANEL_COUNTRY_COUNTS, key=lambda code: (-PANEL_COUNTRY_COUNTS[code], code))
+    )
+
+
+def expanded_country_assignments() -> tuple[str, ...]:
+    """One country code per panellist, in descending-population order."""
+    assignments: list[str] = []
+    for code in country_list():
+        assignments.extend([code] * PANEL_COUNTRY_COUNTS[code])
+    return tuple(assignments)

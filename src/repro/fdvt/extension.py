@@ -1,0 +1,136 @@
+"""The FDVT browser extension.
+
+The extension has three responsibilities in the paper:
+
+1. during a Facebook session it parses the user's *ad preferences* page,
+   collecting the interests Facebook assigned to the user (the dataset of
+   Section 3);
+2. it estimates the revenue the user generates for Facebook (its original
+   purpose);
+3. since Section 6, it offers the "Risks of my FB interests" view: the
+   user's interests sorted by audience size, colour-coded by privacy risk,
+   with one-click removal.
+
+Audience sizes are retrieved per interest from the (simulated) Ads Manager
+API, exactly like the real extension queries the real API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adsapi import AdsManagerAPI, TargetingSpec
+from ..catalog import InterestCatalog
+from ..errors import PanelError
+from ..population.user import SyntheticUser
+from ..reach.countries import country_codes
+from .interface import InterestRiskEntry, RiskReport
+from .revenue import RevenueEstimate, RevenueEstimator
+from .risk import DEFAULT_THRESHOLDS, RiskThresholds
+
+
+@dataclass(frozen=True)
+class AdPreferencesSnapshot:
+    """The interests collected from one user's ad-preferences page."""
+
+    user_id: int
+    interest_ids: tuple[int, ...]
+
+    @property
+    def interest_count(self) -> int:
+        """Number of interests in the snapshot."""
+        return len(self.interest_ids)
+
+
+class FDVTExtension:
+    """Simulates one installation of the FDVT browser extension."""
+
+    def __init__(
+        self,
+        api: AdsManagerAPI,
+        catalog: InterestCatalog,
+        *,
+        thresholds: RiskThresholds = DEFAULT_THRESHOLDS,
+    ) -> None:
+        self._api = api
+        self._catalog = catalog
+        self._thresholds = thresholds
+        self._revenue = RevenueEstimator()
+
+    @property
+    def thresholds(self) -> RiskThresholds:
+        """Risk thresholds used by the risk view."""
+        return self._thresholds
+
+    # -- data collection ---------------------------------------------------------
+
+    def collect_ad_preferences(self, user: SyntheticUser) -> AdPreferencesSnapshot:
+        """Parse the user's ad-preferences page (collect their interests)."""
+        return AdPreferencesSnapshot(user_id=user.user_id, interest_ids=user.interest_ids)
+
+    def interest_audience_size(self, interest_id: int) -> int:
+        """Potential Reach of a single-interest audience.
+
+        The audience is worldwide when the platform allows it; otherwise (the
+        pre-2020 situation) the query covers the 50 largest Facebook
+        countries, as in the paper's data collection.
+        """
+        if self._api.platform.allow_worldwide_location:
+            locations = None
+        else:
+            locations = country_codes()
+        spec = TargetingSpec.for_interests([interest_id], locations=locations)
+        return self._api.estimate_reach(spec).potential_reach
+
+    # -- revenue estimation ---------------------------------------------------------
+
+    def estimate_session_revenue(
+        self, user: SyntheticUser, *, impressions: int, clicks: int
+    ) -> RevenueEstimate:
+        """Estimate the revenue generated during one browsing session."""
+        return self._revenue.estimate(
+            impressions=impressions, clicks=clicks, country=user.country
+        )
+
+    # -- Section 6: risk view ----------------------------------------------------------
+
+    def build_risk_report(self, user: SyntheticUser) -> RiskReport:
+        """Build the sorted, colour-coded risk view of the user's interests."""
+        snapshot = self.collect_ad_preferences(user)
+        if not snapshot.interest_ids:
+            raise PanelError("the user has no interests to report on")
+        entries = []
+        for interest_id in snapshot.interest_ids:
+            audience = self.interest_audience_size(interest_id)
+            interest = self._catalog.get(interest_id)
+            entries.append(
+                InterestRiskEntry(
+                    interest_id=interest_id,
+                    name=interest.name,
+                    risk=self._thresholds.classify(audience),
+                    audience_size=audience,
+                )
+            )
+        entries.sort(key=lambda entry: (entry.audience_size, entry.interest_id))
+        return RiskReport(user_id=user.user_id, entries=tuple(entries))
+
+    def remove_interest(self, user: SyntheticUser, interest_id: int) -> SyntheticUser:
+        """Remove an interest from the user's ad preferences.
+
+        Mirrors the one-click removal of Figure 7: the returned user no
+        longer carries ``interest_id`` and can no longer be targeted
+        through it.
+        """
+        if not user.has_interest(interest_id):
+            raise PanelError(f"user {user.user_id} does not hold interest {interest_id}")
+        return user.without_interest(interest_id)
+
+    def remove_risky_interests(
+        self, user: SyntheticUser, report: RiskReport | None = None
+    ) -> tuple[SyntheticUser, RiskReport]:
+        """Remove every high-risk (red) interest from the user's preferences."""
+        report = report or self.build_risk_report(user)
+        updated_user = user
+        for entry in report.entries_at_risk():
+            updated_user = self.remove_interest(updated_user, entry.interest_id)
+        return updated_user, report.remove_all_at_risk()

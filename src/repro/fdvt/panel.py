@@ -1,0 +1,273 @@
+"""The synthetic FDVT panel.
+
+The FDVT browser extension collected, for each of 2,390 real users, the list
+of interests Facebook had assigned to them plus a few optional demographic
+attributes.  The real dataset is private; :class:`PanelBuilder` generates a
+synthetic panel that reproduces the published marginals:
+
+* the exact country breakdown of Appendix B (Table 4);
+* the gender split (1,949 men / 347 women / 94 undisclosed) and the Erikson
+  age-group split of Section 3;
+* the interests-per-user distribution of Figure 1 (range 1-8,950, median
+  426);
+* interest popularity profiles consistent with the shared catalog and the
+  shared correlated assignment model.
+
+Demographic groups receive slightly different popularity biases so that the
+directional differences of Appendix C (women, adolescents and Argentinian
+users need more random interests to become unique) emerge from the data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .._rng import SeedLike, derive_generator
+from ..catalog import InterestCatalog
+from ..config import PanelConfig
+from ..errors import PanelError
+from ..population.assignment import InterestAssigner
+from ..population.demographics import AgeGroup, Gender, sample_age
+from ..population.sampling import InterestCountModel
+from ..population.user import SyntheticUser
+from .appendix_b import PANEL_COUNTRY_COUNTS, expanded_country_assignments
+
+#: Popularity-bias offsets that seed the directional demographic differences
+#: reported in Appendix C.  A larger bias means more popular interests and
+#: therefore more interests needed to become unique.
+GENDER_BIAS_OFFSETS: dict[Gender, float] = {
+    Gender.MALE: 0.0,
+    Gender.FEMALE: 0.055,
+    Gender.UNDISCLOSED: 0.02,
+}
+
+AGE_BIAS_OFFSETS: dict[AgeGroup, float] = {
+    AgeGroup.ADOLESCENCE: 0.08,
+    AgeGroup.EARLY_ADULTHOOD: 0.0,
+    AgeGroup.ADULTHOOD: 0.01,
+    AgeGroup.MATURITY: 0.0,
+    AgeGroup.UNDISCLOSED: 0.0,
+}
+
+COUNTRY_BIAS_OFFSETS: dict[str, float] = {
+    "FR": -0.02,
+    "ES": 0.01,
+    "MX": 0.03,
+    "AR": 0.065,
+}
+
+_BASE_POPULARITY_BIAS = 0.35
+
+
+class FDVTPanel:
+    """A collection of synthetic FDVT panellists."""
+
+    def __init__(self, users: Iterable[SyntheticUser], catalog: InterestCatalog) -> None:
+        self._users = tuple(users)
+        if not self._users:
+            raise PanelError("a panel must contain at least one user")
+        self._catalog = catalog
+        self._by_id = {user.user_id: user for user in self._users}
+        if len(self._by_id) != len(self._users):
+            raise PanelError("panel user ids must be unique")
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[SyntheticUser]:
+        return iter(self._users)
+
+    def get(self, user_id: int) -> SyntheticUser:
+        """Return the panellist with ``user_id`` or raise."""
+        try:
+            return self._by_id[user_id]
+        except KeyError:
+            raise PanelError(f"unknown panel user id: {user_id}") from None
+
+    @property
+    def users(self) -> tuple[SyntheticUser, ...]:
+        """All panellists."""
+        return self._users
+
+    @property
+    def catalog(self) -> InterestCatalog:
+        """The interest catalog the panel draws from."""
+        return self._catalog
+
+    # -- dataset statistics -------------------------------------------------------
+
+    def interests_per_user(self) -> np.ndarray:
+        """Number of interests per panellist (the Figure 1 variable)."""
+        return np.array([user.interest_count for user in self._users], dtype=np.int64)
+
+    def unique_interest_ids(self) -> np.ndarray:
+        """Distinct interest ids observed across the panel (Figure 2 variable)."""
+        seen: set[int] = set()
+        for user in self._users:
+            seen.update(user.interest_ids)
+        return np.array(sorted(seen), dtype=np.int64)
+
+    def total_interest_occurrences(self) -> int:
+        """Total interest assignments across the panel (~1.5M in the paper)."""
+        return int(sum(user.interest_count for user in self._users))
+
+    def country_counts(self) -> dict[str, int]:
+        """Panellists per country."""
+        counts: dict[str, int] = {}
+        for user in self._users:
+            counts[user.country] = counts.get(user.country, 0) + 1
+        return counts
+
+    # -- demographic subsets ---------------------------------------------------------
+
+    def subset(self, users: Sequence[SyntheticUser]) -> "FDVTPanel":
+        """Build a sub-panel from a subset of users."""
+        return FDVTPanel(users, self._catalog)
+
+    def by_gender(self, gender: Gender) -> "FDVTPanel":
+        """Sub-panel of one declared gender."""
+        return self.subset([user for user in self._users if user.gender is gender])
+
+    def by_age_group(self, group: AgeGroup) -> "FDVTPanel":
+        """Sub-panel of one Erikson age group."""
+        return self.subset([user for user in self._users if user.age_group is group])
+
+    def by_country(self, country: str) -> "FDVTPanel":
+        """Sub-panel of one country of residence."""
+        return self.subset([user for user in self._users if user.country == country])
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """Serialise the panel users to plain dictionaries."""
+        return [user.to_dict() for user in self._users]
+
+    @staticmethod
+    def from_dicts(records: Iterable[dict], catalog: InterestCatalog) -> "FDVTPanel":
+        """Rebuild a panel from :meth:`to_dicts` output."""
+        return FDVTPanel((SyntheticUser.from_dict(r) for r in records), catalog)
+
+
+class PanelBuilder:
+    """Builds a synthetic :class:`FDVTPanel`."""
+
+    def __init__(
+        self,
+        catalog: InterestCatalog,
+        config: PanelConfig | None = None,
+        *,
+        assigner: InterestAssigner | None = None,
+        topics_per_user: int = 3,
+    ) -> None:
+        self._catalog = catalog
+        self._config = config or PanelConfig()
+        self._assigner = assigner or InterestAssigner(catalog)
+        if topics_per_user < 1:
+            raise PanelError("topics_per_user must be >= 1")
+        self._topics_per_user = topics_per_user
+
+    @property
+    def config(self) -> PanelConfig:
+        """The panel configuration in use."""
+        return self._config
+
+    def build(self, seed: SeedLike = None) -> FDVTPanel:
+        """Build the panel deterministically from ``seed``."""
+        config = self._config
+        base_seed = config.seed if seed is None else seed
+        if isinstance(base_seed, np.random.Generator):
+            base_seed = int(base_seed.integers(0, 2**62))
+        base_seed = int(base_seed)
+
+        countries = self._assign_countries(config.n_users, base_seed)
+        genders = self._assign_genders(config, base_seed)
+        age_groups = self._assign_age_groups(config, base_seed)
+        count_model = InterestCountModel(
+            median=config.median_interests_per_user,
+            log10_sigma=config.interests_log10_sigma,
+            minimum=config.min_interests_per_user,
+            maximum=config.max_interests_per_user,
+        ).clipped_to_catalog(len(self._catalog))
+        counts = count_model.sample(
+            config.n_users, derive_generator(base_seed, "panel-interest-counts")
+        )
+
+        users = []
+        for index in range(config.n_users):
+            user_rng = derive_generator(base_seed, "panel-user", index)
+            age = sample_age(age_groups[index], user_rng)
+            bias = popularity_bias_for(genders[index], age_groups[index], countries[index])
+            # Per-user heterogeneity: some people collect mostly mainstream
+            # interests, others many niche ones.  This spread is what widens
+            # the gap between the P=0.5 and P=0.9 uniqueness cutpoints.
+            if config.popularity_bias_jitter > 0:
+                bias += float(user_rng.normal(0.0, config.popularity_bias_jitter))
+                bias = float(np.clip(round(bias, 2), 0.1, 0.95))
+            preferred = self._assigner.sample_preferred_topics(
+                self._topics_per_user, user_rng
+            )
+            interests = self._assigner.assign(
+                int(counts[index]),
+                user_rng,
+                preferred_topics=preferred,
+                popularity_bias=bias,
+            )
+            users.append(
+                SyntheticUser(
+                    user_id=index,
+                    country=countries[index],
+                    gender=genders[index],
+                    age=age,
+                    interest_ids=interests,
+                )
+            )
+        return FDVTPanel(users, self._catalog)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _assign_countries(self, n_users: int, base_seed: int) -> list[str]:
+        rng = derive_generator(base_seed, "panel-countries")
+        if n_users == sum(PANEL_COUNTRY_COUNTS.values()):
+            assignments = list(expanded_country_assignments())
+            rng.shuffle(assignments)
+            return assignments
+        codes = list(PANEL_COUNTRY_COUNTS)
+        weights = np.array([PANEL_COUNTRY_COUNTS[c] for c in codes], dtype=float)
+        weights = weights / weights.sum()
+        draws = rng.choice(len(codes), size=n_users, p=weights)
+        return [codes[int(i)] for i in draws]
+
+    def _assign_genders(self, config: PanelConfig, base_seed: int) -> list[Gender]:
+        rng = derive_generator(base_seed, "panel-genders")
+        genders = (
+            [Gender.MALE] * config.n_men
+            + [Gender.FEMALE] * config.n_women
+            + [Gender.UNDISCLOSED] * config.n_gender_undisclosed
+        )
+        rng.shuffle(genders)
+        return genders
+
+    def _assign_age_groups(self, config: PanelConfig, base_seed: int) -> list[AgeGroup]:
+        rng = derive_generator(base_seed, "panel-ages")
+        groups = (
+            [AgeGroup.ADOLESCENCE] * config.n_adolescents
+            + [AgeGroup.EARLY_ADULTHOOD] * config.n_early_adults
+            + [AgeGroup.ADULTHOOD] * config.n_adults
+            + [AgeGroup.MATURITY] * config.n_matures
+            + [AgeGroup.UNDISCLOSED] * config.n_age_undisclosed
+        )
+        rng.shuffle(groups)
+        return groups
+
+
+def popularity_bias_for(gender: Gender, age_group: AgeGroup, country: str) -> float:
+    """Popularity bias used when assigning interests to one panellist."""
+    bias = _BASE_POPULARITY_BIAS
+    bias += GENDER_BIAS_OFFSETS.get(gender, 0.0)
+    bias += AGE_BIAS_OFFSETS.get(age_group, 0.0)
+    bias += COUNTRY_BIAS_OFFSETS.get(country, 0.0)
+    return round(bias, 3)

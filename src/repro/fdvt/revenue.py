@@ -1,0 +1,71 @@
+"""FDVT revenue estimation.
+
+The original purpose of the FDVT browser extension is to show users a
+real-time estimate of the revenue they generate for Facebook from the ads
+they receive while browsing.  The uniqueness study only needs the interest
+lists the extension collects, but the estimator is reproduced here because
+the extension's registration flow (and therefore the demographics available
+to the panel) exists to support it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Rough CPM (EUR per 1000 impressions) by country tier.
+_TIER_CPM_EUR: dict[str, float] = {"high": 3.2, "medium": 1.4, "low": 0.6}
+
+#: Countries billed at the high tier; everything else falls to medium/low.
+_HIGH_TIER = {"US", "CA", "GB", "DE", "FR", "SE", "CH", "AU", "BE", "NL", "DK", "FI"}
+_MEDIUM_TIER = {"ES", "IT", "PT", "AR", "MX", "CL", "BR", "PL", "GR", "IE", "AT", "TW", "KR", "JP"}
+
+#: Average click value in EUR, by the same tiers.
+_TIER_CPC_EUR: dict[str, float] = {"high": 0.45, "medium": 0.22, "low": 0.08}
+
+
+def country_tier(country: str) -> str:
+    """Return the pricing tier for a country code."""
+    if country in _HIGH_TIER:
+        return "high"
+    if country in _MEDIUM_TIER:
+        return "medium"
+    return "low"
+
+
+@dataclass(frozen=True, slots=True)
+class RevenueEstimate:
+    """Estimated revenue generated for Facebook during one browsing session."""
+
+    impressions: int
+    clicks: int
+    country: str
+    impression_revenue_eur: float
+    click_revenue_eur: float
+
+    @property
+    def total_eur(self) -> float:
+        """Total estimated revenue in EUR."""
+        return self.impression_revenue_eur + self.click_revenue_eur
+
+
+class RevenueEstimator:
+    """Estimates the revenue a user generates for Facebook."""
+
+    def estimate(self, *, impressions: int, clicks: int, country: str) -> RevenueEstimate:
+        """Estimate revenue for a session with the given activity."""
+        if impressions < 0 or clicks < 0:
+            raise ConfigurationError("impressions and clicks must be non-negative")
+        if clicks > impressions:
+            raise ConfigurationError("clicks cannot exceed impressions")
+        tier = country_tier(country)
+        impression_revenue = impressions / 1000.0 * _TIER_CPM_EUR[tier]
+        click_revenue = clicks * _TIER_CPC_EUR[tier]
+        return RevenueEstimate(
+            impressions=impressions,
+            clicks=clicks,
+            country=country,
+            impression_revenue_eur=round(impression_revenue, 4),
+            click_revenue_eur=round(click_revenue, 4),
+        )

@@ -1,0 +1,76 @@
+"""Interest privacy-risk classification (Section 6).
+
+The FDVT extension's countermeasure sorts a user's interests by audience
+size and colours them by the privacy risk they pose: interests with tiny
+worldwide audiences are the ones an attacker would pick for a nanotargeting
+campaign.  The thresholds are the ones proposed in the paper and are
+configurable, as the paper suggests they should be.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class RiskLevel(enum.Enum):
+    """Colour-coded privacy risk of a single interest."""
+
+    RED = "red"        # high risk
+    ORANGE = "orange"  # medium risk
+    YELLOW = "yellow"  # low risk
+    GREEN = "green"    # no risk
+
+    @property
+    def description(self) -> str:
+        """Human-readable description of the risk level."""
+        return {
+            RiskLevel.RED: "high risk",
+            RiskLevel.ORANGE: "medium risk",
+            RiskLevel.YELLOW: "low risk",
+            RiskLevel.GREEN: "no risk",
+        }[self]
+
+
+@dataclass(frozen=True, slots=True)
+class RiskThresholds:
+    """Audience-size thresholds separating the four risk levels.
+
+    Defaults follow Section 6: red for audiences of at most 10k users,
+    orange up to 100k, yellow up to 1M, green above.
+    """
+
+    red_max: int = 10_000
+    orange_max: int = 100_000
+    yellow_max: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if not 0 < self.red_max < self.orange_max < self.yellow_max:
+            raise ConfigurationError(
+                "risk thresholds must be positive and strictly increasing"
+            )
+
+    def classify(self, audience_size: float) -> RiskLevel:
+        """Map an audience size to its risk level."""
+        if audience_size < 0:
+            raise ConfigurationError("audience_size must be non-negative")
+        if audience_size <= self.red_max:
+            return RiskLevel.RED
+        if audience_size <= self.orange_max:
+            return RiskLevel.ORANGE
+        if audience_size <= self.yellow_max:
+            return RiskLevel.YELLOW
+        return RiskLevel.GREEN
+
+
+#: Default thresholds from the paper.
+DEFAULT_THRESHOLDS = RiskThresholds()
+
+
+def classify_audience(
+    audience_size: float, thresholds: RiskThresholds = DEFAULT_THRESHOLDS
+) -> RiskLevel:
+    """Classify one audience size with the given thresholds."""
+    return thresholds.classify(audience_size)

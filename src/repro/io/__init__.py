@@ -1,0 +1,23 @@
+"""Dataset and report (de)serialisation."""
+
+from .serialization import (
+    experiment_report_to_dict,
+    load_catalog,
+    load_panel,
+    save_catalog,
+    save_experiment_report,
+    save_panel,
+    save_uniqueness_report,
+    uniqueness_report_to_dict,
+)
+
+__all__ = [
+    "experiment_report_to_dict",
+    "load_catalog",
+    "load_panel",
+    "save_catalog",
+    "save_experiment_report",
+    "save_panel",
+    "save_uniqueness_report",
+    "uniqueness_report_to_dict",
+]

@@ -1,0 +1,109 @@
+"""Reference values published in the paper.
+
+Keeping the paper's headline numbers as structured data lets tests,
+benchmarks and reports compare a reproduction run against the original
+results without copying magic constants around.  All values are transcribed
+from the IMC '21 paper (Tables 1 and 2, Figures 1, 2 and 8-10, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Figure 1 — interests per panellist.
+PAPER_INTERESTS_PER_USER = {
+    "min": 1,
+    "median": 426,
+    "max": 8_950,
+    "panel_size": 2_390,
+    "unique_interests": 98_982,
+    "total_occurrences": 1_500_000,
+}
+
+#: Figure 2 — audience-size percentiles of the unique interests.
+PAPER_INTEREST_AUDIENCE_PERCENTILES = {25: 113_193, 50: 418_530, 75: 1_719_925}
+
+#: Table 1 — N_P point estimates per strategy and probability.
+PAPER_TABLE1 = {
+    "least_popular": {0.5: 2.74, 0.8: 3.96, 0.9: 4.16, 0.95: 5.89},
+    "random": {0.5: 11.41, 0.8: 17.31, 0.9: 22.21, 0.95: 26.98},
+}
+
+#: Table 1 — 95% confidence intervals.
+PAPER_TABLE1_CI = {
+    "least_popular": {
+        0.5: (2.72, 2.75),
+        0.8: (3.91, 4.02),
+        0.9: (4.09, 4.37),
+        0.95: (5.62, 6.15),
+    },
+    "random": {
+        0.5: (11.21, 11.6),
+        0.8: (16.98, 17.6),
+        0.9: (21.73, 22.69),
+        0.95: (26.34, 27.68),
+    },
+}
+
+#: Section 5 / Table 2 — aggregate outcomes of the nanotargeting experiment.
+PAPER_TABLE2_SUMMARY = {
+    "n_campaigns": 21,
+    "n_targets": 3,
+    "interest_counts": (5, 7, 9, 12, 18, 20, 22),
+    "successful_campaigns": 9,
+    "successes_by_interests": {5: 0, 7: 0, 9: 0, 12: 1, 18: 2, 20: 3, 22: 3},
+    "successful_cost_eur": 0.12,
+    "total_cost_eur": 305.36,
+    "min_tfi_minutes": 44,
+    "max_tfi_minutes": 32 * 60 + 10,
+    "active_hours": 33,
+}
+
+#: Appendix C — N_0.9 per demographic group (least popular, random).
+PAPER_DEMOGRAPHICS_N09 = {
+    "gender": {"men": (4.16, 21.92), "women": (4.20, 23.80)},
+    "age": {
+        "adolescence": (4.11, 24.92),
+        "early_adulthood": (4.16, 21.99),
+        "adulthood": (4.45, 22.20),
+    },
+    "country": {
+        "FR": (4.21, 19.28),
+        "ES": (4.29, 21.70),
+        "MX": (3.96, 22.05),
+        "AR": (4.03, 24.49),
+    },
+}
+
+#: Section 8.3 — fraction of real campaigns combining more than 9 interests.
+PAPER_CAMPAIGNS_ABOVE_9_INTERESTS = 0.01
+
+
+@dataclass(frozen=True, slots=True)
+class ReferenceCheck:
+    """Outcome of comparing one reproduced quantity against the paper."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    tolerance_ratio: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured / paper ratio (1.0 means exact agreement)."""
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value else 1.0
+        return self.measured_value / self.paper_value
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when the measured value is within the multiplicative tolerance."""
+        return 1.0 / self.tolerance_ratio <= self.ratio <= self.tolerance_ratio
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "ok" if self.within_tolerance else "off"
+        return (
+            f"{self.name}: paper={self.paper_value:g} measured={self.measured_value:g} "
+            f"ratio={self.ratio:.2f} [{status}]"
+        )

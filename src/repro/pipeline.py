@@ -1,0 +1,116 @@
+"""High-level pipeline: build every component of the reproduction in one call.
+
+Examples, tests and benchmarks all need the same stack: an interest catalog,
+the world-scale reach model, the simulated Ads API, the FDVT panel and a
+delivery engine.  :func:`build_simulation` wires them together from a single
+:class:`~repro.config.ReproductionConfig`, keeping every component consistent
+(same catalog, same seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ._rng import derive_seed
+from .adsapi import AdsManagerAPI
+from .catalog import InterestCatalog
+from .config import PlatformConfig, ReproductionConfig, default_config
+from .core import (
+    LeastPopularSelection,
+    NanotargetingExperiment,
+    RandomSelection,
+    UniquenessModel,
+)
+from .delivery import ClickLog, DeliveryEngine
+from .fdvt import FDVTExtension, FDVTPanel, PanelBuilder
+from .population import InterestAssigner
+from .reach import StatisticalReachModel, country_codes
+from .simclock import SimClock
+
+
+@dataclass(frozen=True)
+class Simulation:
+    """Every component needed to reproduce the paper, pre-wired."""
+
+    config: ReproductionConfig
+    catalog: InterestCatalog
+    reach_model: StatisticalReachModel
+    uniqueness_api: AdsManagerAPI
+    campaign_api: AdsManagerAPI
+    panel: FDVTPanel
+    delivery_engine: DeliveryEngine
+    click_log: ClickLog
+
+    # -- convenience constructors of the paper's two analyses --------------------
+
+    def uniqueness_model(self) -> UniquenessModel:
+        """The Section 4 model, bound to the 2017 platform and the 50-country base."""
+        return UniquenessModel(
+            self.uniqueness_api,
+            self.panel,
+            self.config.uniqueness,
+            locations=country_codes(),
+        )
+
+    def nanotargeting_experiment(self, seed: int | None = None) -> NanotargetingExperiment:
+        """The Section 5 experiment, bound to the 2020 platform."""
+        return NanotargetingExperiment(
+            self.campaign_api,
+            self.delivery_engine,
+            self.config.experiment,
+            click_log=self.click_log,
+            seed=seed,
+        )
+
+    def fdvt_extension(self) -> FDVTExtension:
+        """The Section 6 FDVT extension, bound to the 2017 platform API."""
+        return FDVTExtension(self.uniqueness_api, self.catalog)
+
+    def strategies(self) -> tuple[LeastPopularSelection, RandomSelection]:
+        """The two interest-selection strategies of Section 4.2."""
+        return (
+            LeastPopularSelection(),
+            RandomSelection(seed=derive_seed(self.config.uniqueness.seed, "random-strategy")),
+        )
+
+
+def build_simulation(
+    config: ReproductionConfig | None = None, *, seed: int | None = None
+) -> Simulation:
+    """Build a fully wired :class:`Simulation` from ``config``.
+
+    The uniqueness API uses the January 2017 platform limits (reporting floor
+    of 20 users, no worldwide location) while the campaign API uses the late
+    2020 limits (floor of 1,000 users, worldwide location available), exactly
+    matching the two phases of the paper.
+    """
+    config = config or default_config()
+    catalog_seed = config.catalog.seed if seed is None else derive_seed(seed, "catalog")
+    panel_seed = config.panel.seed if seed is None else derive_seed(seed, "panel")
+    delivery_seed = (
+        config.experiment.seed if seed is None else derive_seed(seed, "delivery")
+    )
+
+    catalog = InterestCatalog.generate(config.catalog, seed=catalog_seed)
+    reach_model = StatisticalReachModel(catalog, config.reach)
+    uniqueness_api = AdsManagerAPI(
+        reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+    )
+    campaign_api = AdsManagerAPI(
+        reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
+    )
+    assigner = InterestAssigner(
+        catalog, topic_affinity_boost=1.0 + 10.0 * config.reach.topic_affinity_boost
+    )
+    panel = PanelBuilder(catalog, config.panel, assigner=assigner).build(seed=panel_seed)
+    delivery_engine = DeliveryEngine(catalog, seed=delivery_seed)
+    return Simulation(
+        config=config,
+        catalog=catalog,
+        reach_model=reach_model,
+        uniqueness_api=uniqueness_api,
+        campaign_api=campaign_api,
+        panel=panel,
+        delivery_engine=delivery_engine,
+        click_log=ClickLog(),
+    )

@@ -1,0 +1,32 @@
+"""Agent-based scaled Facebook population."""
+
+from .assignment import InterestAssigner
+from .builder import PopulationBuilder
+from .demographics import (
+    AGE_GROUP_BOUNDS,
+    AgeGroup,
+    Gender,
+    classify_age,
+    sample_age,
+    sample_ages,
+    sample_genders,
+)
+from .population import Population, PopulationReachBackend
+from .sampling import InterestCountModel
+from .user import SyntheticUser
+
+__all__ = [
+    "AGE_GROUP_BOUNDS",
+    "AgeGroup",
+    "Gender",
+    "InterestAssigner",
+    "InterestCountModel",
+    "Population",
+    "PopulationBuilder",
+    "PopulationReachBackend",
+    "SyntheticUser",
+    "classify_age",
+    "sample_age",
+    "sample_ages",
+    "sample_genders",
+]

@@ -1,0 +1,177 @@
+"""Correlated interest assignment.
+
+Facebook infers a user's interests from their activity, which makes the
+interests of one user strongly clustered: a handful of preferred topics
+concentrate most of the assignments, and popular interests are assigned far
+more often than unpopular ones — but not proportionally to their audience
+(otherwise nobody would ever carry a 100-user interest, while the paper's
+panel shows every user carries several very rare ones).
+
+The assigner implements a two-stage model:
+
+1. a *topic* is drawn for every assignment, with the user's preferred topics
+   boosted by a multiplicative affinity factor;
+2. an interest is drawn within the topic with probability proportional to
+   ``audience_size ** popularity_bias`` (``popularity_bias < 1`` flattens the
+   popularity distribution, guaranteeing a supply of rare interests in every
+   profile).
+
+Both the agent-based population and the FDVT panel use this assigner, so the
+co-occurrence structure seen by the reach model and by the panel is the same.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator
+from ..catalog import InterestCatalog
+from ..errors import PopulationError
+
+
+class InterestAssigner:
+    """Assigns correlated interest sets to synthetic users."""
+
+    def __init__(
+        self,
+        catalog: InterestCatalog,
+        *,
+        topic_affinity_boost: float = 4.0,
+        default_popularity_bias: float = 0.5,
+    ) -> None:
+        if topic_affinity_boost < 1.0:
+            raise PopulationError("topic_affinity_boost must be >= 1")
+        if default_popularity_bias < 0.0:
+            raise PopulationError("default_popularity_bias must be >= 0")
+        self._catalog = catalog
+        self._boost = float(topic_affinity_boost)
+        self._default_bias = float(default_popularity_bias)
+        self._topics = catalog.topics()
+        self._topic_index = {topic: idx for idx, topic in enumerate(self._topics)}
+        self._topic_ids: list[np.ndarray] = []
+        self._topic_audiences: list[np.ndarray] = []
+        for topic in self._topics:
+            interests = catalog.by_topic(topic)
+            self._topic_ids.append(
+                np.array([interest.interest_id for interest in interests], dtype=np.int64)
+            )
+            self._topic_audiences.append(
+                np.array([interest.audience_size for interest in interests], dtype=float)
+            )
+        self._cdf_cache: dict[tuple[int, float], np.ndarray] = {}
+        self._topic_weight_cache: dict[float, np.ndarray] = {}
+
+    @property
+    def catalog(self) -> InterestCatalog:
+        """The catalog interests are assigned from."""
+        return self._catalog
+
+    @property
+    def topics(self) -> tuple[str, ...]:
+        """Topics available for preference selection."""
+        return self._topics
+
+    # -- public API -----------------------------------------------------------
+
+    def sample_preferred_topics(self, n_topics: int, seed: SeedLike = None) -> tuple[str, ...]:
+        """Pick ``n_topics`` distinct preferred topics for a user."""
+        if n_topics < 1:
+            raise PopulationError("n_topics must be >= 1")
+        rng = as_generator(seed)
+        count = min(n_topics, len(self._topics))
+        chosen = rng.choice(len(self._topics), size=count, replace=False)
+        return tuple(self._topics[int(i)] for i in chosen)
+
+    def assign(
+        self,
+        n_interests: int,
+        seed: SeedLike = None,
+        *,
+        preferred_topics: Sequence[str] | None = None,
+        popularity_bias: float | None = None,
+    ) -> tuple[int, ...]:
+        """Assign ``n_interests`` distinct interests to one user.
+
+        Returns interest ids in assignment order (first occurrence order),
+        which downstream selection strategies treat as the order in which an
+        attacker might learn them.
+        """
+        if n_interests < 0:
+            raise PopulationError("n_interests must be non-negative")
+        rng = as_generator(seed)
+        total_available = len(self._catalog)
+        n_interests = min(n_interests, total_available)
+        if n_interests == 0:
+            return ()
+
+        bias = self._default_bias if popularity_bias is None else float(popularity_bias)
+        bias = round(max(0.0, bias), 3)
+        topic_probs = self._topic_probabilities(preferred_topics, bias)
+
+        chosen: list[int] = []
+        seen: set[int] = set()
+        attempts = 0
+        while len(chosen) < n_interests and attempts < 40:
+            attempts += 1
+            needed = n_interests - len(chosen)
+            batch = max(needed, int(needed * 1.25) + 4)
+            topic_draws = rng.choice(len(self._topics), size=batch, p=topic_probs)
+            for topic_idx, count in zip(*np.unique(topic_draws, return_counts=True)):
+                ids = self._draw_within_topic(int(topic_idx), int(count), bias, rng)
+                for interest_id in ids:
+                    interest_id = int(interest_id)
+                    if interest_id not in seen:
+                        seen.add(interest_id)
+                        chosen.append(interest_id)
+        if len(chosen) < n_interests:
+            # Deterministic top-up from interests not yet assigned.
+            remaining = [
+                int(i) for i in self._catalog.interest_ids if int(i) not in seen
+            ]
+            rng.shuffle(remaining)
+            chosen.extend(remaining[: n_interests - len(chosen)])
+        return tuple(chosen[:n_interests])
+
+    # -- internals ------------------------------------------------------------
+
+    def _topic_probabilities(
+        self, preferred_topics: Sequence[str] | None, bias: float
+    ) -> np.ndarray:
+        weights = self._topic_base_weights(bias).copy()
+        if preferred_topics:
+            for topic in preferred_topics:
+                if topic not in self._topic_index:
+                    raise PopulationError(f"unknown preferred topic: {topic!r}")
+                weights[self._topic_index[topic]] *= self._boost
+        total = weights.sum()
+        if total <= 0:
+            raise PopulationError("topic weights must sum to a positive value")
+        return weights / total
+
+    def _topic_base_weights(self, bias: float) -> np.ndarray:
+        cached = self._topic_weight_cache.get(bias)
+        if cached is None:
+            cached = np.array(
+                [np.power(audiences, bias).sum() for audiences in self._topic_audiences],
+                dtype=float,
+            )
+            self._topic_weight_cache[bias] = cached
+        return cached
+
+    def _draw_within_topic(
+        self, topic_idx: int, count: int, bias: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        ids = self._topic_ids[topic_idx]
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        cdf = self._cdf_cache.get((topic_idx, bias))
+        if cdf is None:
+            weights = np.power(self._topic_audiences[topic_idx], bias)
+            cdf = np.cumsum(weights)
+            cdf = cdf / cdf[-1]
+            self._cdf_cache[(topic_idx, bias)] = cdf
+        positions = np.searchsorted(cdf, rng.random(count), side="right")
+        positions = np.clip(positions, 0, ids.size - 1)
+        return ids[positions]

@@ -1,0 +1,95 @@
+"""Builder for the agent-based scaled population."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import SeedLike, derive_generator
+from ..catalog import InterestCatalog
+from ..config import PopulationConfig
+from ..errors import PopulationError
+from ..reach.countries import TOP_50_COUNTRIES
+from .assignment import InterestAssigner
+from .demographics import Gender, sample_ages, sample_genders
+from .population import Population
+from .sampling import InterestCountModel
+from .user import SyntheticUser
+
+
+class PopulationBuilder:
+    """Builds a :class:`Population` of synthetic Facebook users.
+
+    Agents are spread over the 50 countries of Appendix A proportionally to
+    their real Facebook user counts, receive demographics from simple
+    samplers, and get correlated interest sets from the shared
+    :class:`InterestAssigner`.
+    """
+
+    def __init__(
+        self,
+        catalog: InterestCatalog,
+        config: PopulationConfig | None = None,
+        *,
+        assigner: InterestAssigner | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self._config = config or PopulationConfig()
+        self._assigner = assigner or InterestAssigner(catalog)
+
+    @property
+    def config(self) -> PopulationConfig:
+        """The population configuration in use."""
+        return self._config
+
+    def build(self, seed: SeedLike = None) -> Population:
+        """Build the population deterministically from ``seed``."""
+        config = self._config
+        base_seed = config.seed if seed is None else int(seed)  # type: ignore[arg-type]
+        if isinstance(seed, np.random.Generator):
+            base_seed = int(seed.integers(0, 2**62))
+        countries = self._sample_countries(config.n_agents, base_seed)
+        genders = sample_genders(
+            config.n_agents, derive_generator(base_seed, "genders")
+        )
+        ages = sample_ages(config.n_agents, derive_generator(base_seed, "ages"))
+        count_model = InterestCountModel(
+            median=config.median_interests_per_user,
+            log10_sigma=config.interests_log10_sigma,
+            minimum=config.min_interests_per_user,
+            maximum=config.max_interests_per_user,
+        ).clipped_to_catalog(len(self._catalog))
+        counts = count_model.sample(
+            config.n_agents, derive_generator(base_seed, "interest-counts")
+        )
+
+        users = []
+        for index in range(config.n_agents):
+            user_rng = derive_generator(base_seed, "user", index)
+            preferred = self._assigner.sample_preferred_topics(
+                config.topics_per_user, user_rng
+            )
+            interests = self._assigner.assign(
+                int(counts[index]), user_rng, preferred_topics=preferred
+            )
+            users.append(
+                SyntheticUser(
+                    user_id=index,
+                    country=countries[index],
+                    gender=genders[index],
+                    age=int(ages[index]),
+                    interest_ids=interests,
+                )
+            )
+        return Population(users, scale_factor=config.scale_factor)
+
+    def _sample_countries(self, n: int, base_seed: int) -> list[str]:
+        if n < 0:
+            raise PopulationError("n must be non-negative")
+        rng = derive_generator(base_seed, "countries")
+        codes = [country.code for country in TOP_50_COUNTRIES]
+        weights = np.array(
+            [country.fb_users_millions for country in TOP_50_COUNTRIES], dtype=float
+        )
+        weights = weights / weights.sum()
+        draws = rng.choice(len(codes), size=n, p=weights)
+        return [codes[int(i)] for i in draws]

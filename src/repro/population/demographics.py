@@ -1,0 +1,89 @@
+"""Demographic attributes of synthetic Facebook users.
+
+The paper breaks its panel down by gender, by the Erikson age groups
+(adolescence 13-19, early adulthood 20-39, adulthood 40-64, maturity 65+)
+and by country of residence, and Appendix C repeats the uniqueness analysis
+per demographic group.  The enums and samplers here are shared by the
+agent-based population and the FDVT panel generator.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .._rng import SeedLike, as_generator
+from ..errors import PopulationError
+
+
+class Gender(enum.Enum):
+    """Self-declared gender of a user (optional at FDVT registration)."""
+
+    MALE = "male"
+    FEMALE = "female"
+    UNDISCLOSED = "undisclosed"
+
+
+class AgeGroup(enum.Enum):
+    """Erikson life-cycle age groups used by the paper (Section 3)."""
+
+    ADOLESCENCE = "adolescence"
+    EARLY_ADULTHOOD = "early_adulthood"
+    ADULTHOOD = "adulthood"
+    MATURITY = "maturity"
+    UNDISCLOSED = "undisclosed"
+
+
+#: Age bounds (inclusive) of each disclosed age group.
+AGE_GROUP_BOUNDS: dict[AgeGroup, tuple[int, int]] = {
+    AgeGroup.ADOLESCENCE: (13, 19),
+    AgeGroup.EARLY_ADULTHOOD: (20, 39),
+    AgeGroup.ADULTHOOD: (40, 64),
+    AgeGroup.MATURITY: (65, 90),
+}
+
+
+def classify_age(age: int | None) -> AgeGroup:
+    """Map an age in years to its :class:`AgeGroup` (None -> UNDISCLOSED)."""
+    if age is None:
+        return AgeGroup.UNDISCLOSED
+    if age < 13:
+        raise PopulationError("Facebook users must be at least 13 years old")
+    for group, (low, high) in AGE_GROUP_BOUNDS.items():
+        if low <= age <= high:
+            return group
+    return AgeGroup.MATURITY
+
+
+def sample_age(group: AgeGroup, seed: SeedLike = None) -> int | None:
+    """Sample an age (in years) uniformly within ``group``'s bounds."""
+    if group is AgeGroup.UNDISCLOSED:
+        return None
+    rng = as_generator(seed)
+    low, high = AGE_GROUP_BOUNDS[group]
+    return int(rng.integers(low, high + 1))
+
+
+def sample_genders(n: int, seed: SeedLike = None, *, female_share: float = 0.46) -> list[Gender]:
+    """Sample ``n`` genders for the general population (roughly balanced)."""
+    if n < 0:
+        raise PopulationError("n must be non-negative")
+    if not 0.0 <= female_share <= 1.0:
+        raise PopulationError("female_share must lie in [0, 1]")
+    rng = as_generator(seed)
+    draws = rng.random(n)
+    return [Gender.FEMALE if d < female_share else Gender.MALE for d in draws]
+
+
+def sample_ages(n: int, seed: SeedLike = None) -> np.ndarray:
+    """Sample ``n`` ages for the general population.
+
+    The distribution roughly follows the public Facebook age pyramid: a mode
+    in the late twenties with a long tail towards older users.
+    """
+    if n < 0:
+        raise PopulationError("n must be non-negative")
+    rng = as_generator(seed)
+    ages = 13 + rng.gamma(shape=3.2, scale=5.5, size=n)
+    return np.clip(np.rint(ages), 13, 90).astype(int)

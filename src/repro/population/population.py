@@ -1,0 +1,197 @@
+"""The agent-based scaled Facebook population.
+
+The analytic reach model works at the true world scale but cannot be
+enumerated; this container holds an explicit set of synthetic users so that
+delivery simulations can pick concrete recipients and so that tests can
+verify the semantics of audience counting (AND/OR combination, location
+filtering, floors) against exact ground truth.
+
+Each agent represents ``scale_factor`` real users, so reported audience
+sizes are ``count * scale_factor``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import PopulationError
+from ..reach.backend import ReachBackend
+from ..reach.countries import WORLDWIDE
+from .demographics import AgeGroup, Gender
+from .user import SyntheticUser
+
+
+class Population:
+    """A collection of synthetic users with fast audience counting."""
+
+    def __init__(self, users: Iterable[SyntheticUser], *, scale_factor: float = 1.0) -> None:
+        self._users: list[SyntheticUser] = list(users)
+        if not self._users:
+            raise PopulationError("a population must contain at least one user")
+        if scale_factor <= 0:
+            raise PopulationError("scale_factor must be positive")
+        ids = [user.user_id for user in self._users]
+        if len(set(ids)) != len(ids):
+            raise PopulationError("user ids must be unique within a population")
+        self._scale_factor = float(scale_factor)
+        self._by_id = {user.user_id: user for user in self._users}
+        self._interest_index: dict[int, set[int]] = {}
+        self._country_index: dict[str, set[int]] = {}
+        for user in self._users:
+            self._country_index.setdefault(user.country, set()).add(user.user_id)
+            for interest_id in user.interest_ids:
+                self._interest_index.setdefault(interest_id, set()).add(user.user_id)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[SyntheticUser]:
+        return iter(self._users)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._by_id
+
+    def get(self, user_id: int) -> SyntheticUser:
+        """Return the user with ``user_id`` or raise."""
+        try:
+            return self._by_id[user_id]
+        except KeyError:
+            raise PopulationError(f"unknown user id: {user_id}") from None
+
+    @property
+    def users(self) -> tuple[SyntheticUser, ...]:
+        """All users, in insertion order."""
+        return tuple(self._users)
+
+    @property
+    def scale_factor(self) -> float:
+        """Number of real users represented by each agent."""
+        return self._scale_factor
+
+    @property
+    def countries(self) -> tuple[str, ...]:
+        """Country codes present in the population."""
+        return tuple(sorted(self._country_index))
+
+    # -- audience queries -------------------------------------------------------
+
+    def matching_user_ids(
+        self,
+        interest_ids: Sequence[int] = (),
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+        genders: Sequence[Gender] | None = None,
+        age_groups: Sequence[AgeGroup] | None = None,
+    ) -> set[int]:
+        """Ids of agents matching the given targeting expression."""
+        if combine not in ("and", "or"):
+            raise PopulationError(f"unknown combine mode: {combine!r}")
+        candidates = self._location_candidates(locations)
+        if interest_ids:
+            interest_sets = [
+                self._interest_index.get(int(i), set()) for i in interest_ids
+            ]
+            if combine == "and":
+                matched: set[int] = set.intersection(*interest_sets) if interest_sets else set()
+            else:
+                matched = set.union(*interest_sets) if interest_sets else set()
+            candidates = candidates & matched
+        if genders:
+            allowed_genders = set(genders)
+            candidates = {
+                uid for uid in candidates if self._by_id[uid].gender in allowed_genders
+            }
+        if age_groups:
+            allowed_groups = set(age_groups)
+            candidates = {
+                uid for uid in candidates if self._by_id[uid].age_group in allowed_groups
+            }
+        return candidates
+
+    def agent_count(
+        self,
+        interest_ids: Sequence[int] = (),
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+    ) -> int:
+        """Exact number of agents matching the targeting expression."""
+        return len(self.matching_user_ids(interest_ids, locations, combine=combine))
+
+    def audience_size(
+        self,
+        interest_ids: Sequence[int] = (),
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+    ) -> float:
+        """Scaled audience size (agents * scale_factor)."""
+        return self.agent_count(interest_ids, locations, combine=combine) * self._scale_factor
+
+    def interest_audiences(self) -> dict[int, int]:
+        """Number of agents holding each interest present in the population."""
+        return {interest: len(ids) for interest, ids in self._interest_index.items()}
+
+    # -- demographics -------------------------------------------------------------
+
+    def subset(self, user_ids: Iterable[int]) -> "Population":
+        """Build a sub-population restricted to ``user_ids``."""
+        wanted = set(user_ids)
+        users = [user for user in self._users if user.user_id in wanted]
+        return Population(users, scale_factor=self._scale_factor)
+
+    def by_gender(self, gender: Gender) -> "Population":
+        """Sub-population of one gender."""
+        return self.subset(u.user_id for u in self._users if u.gender is gender)
+
+    def by_age_group(self, group: AgeGroup) -> "Population":
+        """Sub-population of one Erikson age group."""
+        return self.subset(u.user_id for u in self._users if u.age_group is group)
+
+    def by_country(self, country: str) -> "Population":
+        """Sub-population of one country."""
+        return self.subset(self._country_index.get(country, set()))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _location_candidates(self, locations: Sequence[str] | None) -> set[int]:
+        if locations is None:
+            return set(self._by_id)
+        codes = tuple(locations)
+        if not codes or WORLDWIDE in codes:
+            return set(self._by_id)
+        candidates: set[int] = set()
+        for code in codes:
+            candidates |= self._country_index.get(code, set())
+        return candidates
+
+
+class PopulationReachBackend(ReachBackend):
+    """Adapts a :class:`Population` to the :class:`ReachBackend` protocol."""
+
+    def __init__(self, population: Population) -> None:
+        self._population = population
+
+    @property
+    def population(self) -> Population:
+        """The underlying population."""
+        return self._population
+
+    def audience_for(
+        self,
+        interest_ids: Sequence[int],
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+    ) -> float:
+        """Scaled audience size for the targeting expression."""
+        return self._population.audience_size(interest_ids, locations, combine=combine)
+
+    def world_size(self, locations: Sequence[str] | None = None) -> float:
+        """Scaled size of the selected locations."""
+        return self._population.audience_size((), locations)

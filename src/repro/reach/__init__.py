@@ -1,0 +1,33 @@
+"""World-scale audience (reach) modelling."""
+
+from .backend import ReachBackend
+from .calibration import CalibrationResult, calibrate_correlation_alpha, median_cutpoint
+from .countries import (
+    FB_WORLDWIDE_MAU_2020,
+    TOP_50_COUNTRIES,
+    WORLDWIDE,
+    Country,
+    country_codes,
+    get_country,
+    is_known_location,
+    location_fraction,
+    total_user_base,
+)
+from .model import StatisticalReachModel
+
+__all__ = [
+    "CalibrationResult",
+    "Country",
+    "FB_WORLDWIDE_MAU_2020",
+    "ReachBackend",
+    "StatisticalReachModel",
+    "TOP_50_COUNTRIES",
+    "WORLDWIDE",
+    "calibrate_correlation_alpha",
+    "country_codes",
+    "get_country",
+    "is_known_location",
+    "location_fraction",
+    "median_cutpoint",
+    "total_user_base",
+]

@@ -1,0 +1,50 @@
+"""The reach-backend protocol.
+
+The simulated Ads Manager API (:mod:`repro.adsapi`) does not compute
+audience sizes itself; it delegates to any object implementing
+:class:`ReachBackend`.  Two implementations ship with the library:
+
+* :class:`repro.reach.StatisticalReachModel` — an analytic model at the true
+  world scale (1.5B users), used for the uniqueness analysis and the
+  nanotargeting experiment;
+* :class:`repro.population.PopulationReachBackend` — exact counting over an
+  agent-based scaled population, used for delivery simulations and for
+  validating the analytic model's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class ReachBackend(Protocol):
+    """Anything that can estimate the audience of an interest combination."""
+
+    def audience_for(
+        self,
+        interest_ids: Sequence[int],
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+    ) -> float:
+        """Return the (unfloored) audience size of a targeting expression.
+
+        Parameters
+        ----------
+        interest_ids:
+            Interests defining the audience.  An empty sequence means "no
+            interest filter", i.e. everyone in the selected locations.
+        locations:
+            Country codes restricting the audience, ``None`` or the
+            worldwide sentinel meaning no restriction.
+        combine:
+            ``"and"`` requires users to hold every interest (the narrowing
+            semantics used throughout the paper); ``"or"`` requires at least
+            one.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def world_size(self, locations: Sequence[str] | None = None) -> float:
+        """Return the total user base for ``locations``."""
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,136 @@
+"""Calibration of the reach model's correlation exponent.
+
+The only free parameter of :class:`~repro.reach.model.StatisticalReachModel`
+is the conditional-retention exponent ``alpha``.  The paper does not report
+it (it is an artefact of our substitution for the live Ads API), so we
+calibrate it against the paper's headline result: the *median* number of
+random interests making a user unique, ``N(R)_0.5 ≈ 11.4`` (Table 1).
+
+The calibration uses a closed-form approximation of the model: for a set of
+interests with marginal probabilities ``p_1..p_N`` (rarest first), the
+modelled audience is ``W * p_(1) * prod p_(k)^alpha``, so the expected
+number of interests needed to reach an audience of one is the smallest ``N``
+with ``log10(W) + log10(p_(1)) + alpha * sum_{k>=2} log10(p_(k)) <= 0``.
+Bisection on ``alpha`` then matches the median of that cutpoint across a
+sample of per-user interest-rarity profiles to the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the correlation-exponent calibration."""
+
+    alpha: float
+    achieved_median_cutpoint: float
+    target_median_cutpoint: float
+    iterations: int
+
+    @property
+    def error(self) -> float:
+        """Absolute difference between achieved and target cutpoints."""
+        return abs(self.achieved_median_cutpoint - self.target_median_cutpoint)
+
+
+def _profile_cutpoint(
+    log10_probs: np.ndarray, alpha: float, log10_world: float
+) -> float:
+    """Smallest N at which the modelled audience of the first N interests is <= 1.
+
+    ``log10_probs`` holds the log10 marginal probabilities of a user's
+    interests in the order they would be combined (already selected, e.g.
+    randomly shuffled or sorted by rarity).
+    """
+    if log10_probs.size == 0:
+        return np.inf
+    rarest_so_far = np.minimum.accumulate(log10_probs)
+    cumulative = np.cumsum(log10_probs)
+    # audience(N) = W * p_min(N) * prod_{others} p^alpha
+    log10_audience = log10_world + rarest_so_far + alpha * (cumulative - rarest_so_far)
+    below = np.nonzero(log10_audience <= 0.0)[0]
+    if below.size == 0:
+        # Extrapolate linearly from the last two points.
+        if log10_probs.size < 2 or log10_audience[-1] >= log10_audience[-2]:
+            return float(log10_probs.size * 2)
+        slope = log10_audience[-1] - log10_audience[-2]
+        extra = -log10_audience[-1] / slope
+        return float(log10_probs.size + extra)
+    return float(below[0] + 1)
+
+
+def median_cutpoint(
+    profiles: Sequence[np.ndarray], alpha: float, world_population: float
+) -> float:
+    """Median uniqueness cutpoint across per-user probability profiles."""
+    if not profiles:
+        raise CalibrationError("at least one interest profile is required")
+    log10_world = np.log10(world_population)
+    cutpoints = [
+        _profile_cutpoint(np.log10(np.asarray(profile, dtype=float)), alpha, log10_world)
+        for profile in profiles
+    ]
+    return float(np.median(cutpoints))
+
+
+def calibrate_correlation_alpha(
+    profiles: Sequence[np.ndarray],
+    world_population: float,
+    *,
+    target_median_cutpoint: float = 11.41,
+    tolerance: float = 0.25,
+    max_iterations: int = 60,
+) -> CalibrationResult:
+    """Find ``alpha`` so the median random-selection cutpoint hits the target.
+
+    Parameters
+    ----------
+    profiles:
+        One array per (synthetic) panel user holding the marginal
+        probabilities of that user's interests in random order.
+    world_population:
+        The user base ``W`` over which uniqueness is measured.
+    target_median_cutpoint:
+        The paper's ``N(R)_0.5`` value by default.
+    """
+    if not profiles:
+        raise CalibrationError("at least one interest profile is required")
+    if target_median_cutpoint <= 1:
+        raise CalibrationError("target_median_cutpoint must exceed 1")
+
+    low, high = 0.01, 1.0
+    # The cutpoint decreases as alpha grows (more independence -> faster decay).
+    low_value = median_cutpoint(profiles, low, world_population)
+    high_value = median_cutpoint(profiles, high, world_population)
+    if not (high_value <= target_median_cutpoint <= low_value):
+        raise CalibrationError(
+            "target cutpoint "
+            f"{target_median_cutpoint} is outside the achievable range "
+            f"[{high_value:.2f}, {low_value:.2f}]"
+        )
+
+    alpha = (low + high) / 2.0
+    achieved = median_cutpoint(profiles, alpha, world_population)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        alpha = (low + high) / 2.0
+        achieved = median_cutpoint(profiles, alpha, world_population)
+        if abs(achieved - target_median_cutpoint) <= tolerance:
+            break
+        if achieved > target_median_cutpoint:
+            low = alpha
+        else:
+            high = alpha
+    return CalibrationResult(
+        alpha=alpha,
+        achieved_median_cutpoint=achieved,
+        target_median_cutpoint=target_median_cutpoint,
+        iterations=iterations,
+    )

@@ -1,0 +1,45 @@
+"""A deterministic simulated clock.
+
+The Ads API rate limiter, the campaign scheduler and the delivery engine all
+need a notion of time.  Using the wall clock would make the pipeline
+non-reproducible and slow to test, so every time-dependent component accepts
+a :class:`SimClock` that only moves when told to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+
+@dataclass
+class SimClock:
+    """A monotonically increasing simulated clock measured in seconds."""
+
+    _now: float = field(default=0.0)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def now_hours(self) -> float:
+        """Return the current simulated time in hours."""
+        return self._now / 3600.0
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ConfigurationError("cannot move a SimClock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_hours(self, hours: float) -> float:
+        """Advance the clock by ``hours`` and return the new time in seconds."""
+        return self.advance(hours * 3600.0)
+
+    def set_time(self, seconds: float) -> None:
+        """Jump forward to an absolute time (never backwards)."""
+        if seconds < self._now:
+            raise ConfigurationError("cannot move a SimClock backwards")
+        self._now = seconds

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Most tests run against a heavily scaled-down configuration (small catalog,
+small panel, few bootstrap replicates) so the whole suite stays fast while
+still exercising every code path of the full-scale reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PlatformConfig, build_simulation, quick_config
+from repro.adsapi import AdsManagerAPI
+from repro.catalog import InterestCatalog
+from repro.config import CatalogConfig, PanelConfig
+from repro.fdvt import FDVTPanel, PanelBuilder
+from repro.population import InterestAssigner
+from repro.reach import StatisticalReachModel
+from repro.simclock import SimClock
+
+
+@pytest.fixture(scope="session")
+def simulation():
+    """A fully wired, scaled-down simulation shared across the suite."""
+    return build_simulation(quick_config(factor=50))
+
+
+@pytest.fixture(scope="session")
+def catalog(simulation) -> InterestCatalog:
+    """The shared scaled-down interest catalog."""
+    return simulation.catalog
+
+
+@pytest.fixture(scope="session")
+def panel(simulation) -> FDVTPanel:
+    """The shared scaled-down FDVT panel."""
+    return simulation.panel
+
+
+@pytest.fixture(scope="session")
+def reach_model(simulation) -> StatisticalReachModel:
+    """The shared world-scale reach model."""
+    return simulation.reach_model
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog() -> InterestCatalog:
+    """A very small catalog for unit tests that build their own objects."""
+    return InterestCatalog.generate(
+        CatalogConfig(n_interests=300, n_topics=6, seed=7), seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_panel(tiny_catalog) -> FDVTPanel:
+    """A very small panel built on the tiny catalog."""
+    config = PanelConfig(
+        n_users=30,
+        n_men=20,
+        n_women=8,
+        n_gender_undisclosed=2,
+        n_adolescents=4,
+        n_early_adults=16,
+        n_adults=7,
+        n_matures=1,
+        n_age_undisclosed=2,
+        median_interests_per_user=60.0,
+        max_interests_per_user=250,
+        seed=11,
+    )
+    assigner = InterestAssigner(tiny_catalog)
+    return PanelBuilder(tiny_catalog, config, assigner=assigner).build(seed=11)
+
+
+@pytest.fixture()
+def legacy_api(reach_model) -> AdsManagerAPI:
+    """A fresh Ads API with the January 2017 platform limits (floor = 20)."""
+    return AdsManagerAPI(
+        reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+    )
+
+
+@pytest.fixture()
+def modern_api(reach_model) -> AdsManagerAPI:
+    """A fresh Ads API with the late 2020 platform limits (floor = 1000)."""
+    return AdsManagerAPI(
+        reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
+    )

@@ -1,0 +1,145 @@
+"""Tests for ad accounts, platform policy and Custom Audiences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import (
+    AccountStatus,
+    AdAccount,
+    CustomAudienceManager,
+    PlatformPolicy,
+    TargetingSpec,
+    hash_pii,
+)
+from repro.config import PlatformConfig
+from repro.errors import AccountSuspendedError, AdsApiError, CustomAudienceError
+
+
+class TestAdAccount:
+    def test_new_account_is_active(self):
+        account = AdAccount()
+        assert account.is_active
+        account.ensure_active()
+
+    def test_charge_accumulates(self):
+        account = AdAccount()
+        account.charge(10.0)
+        account.charge(2.5)
+        assert account.total_spend_eur == pytest.approx(12.5)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(AdsApiError):
+            AdAccount().charge(-1)
+
+    def test_flag_then_suspend(self):
+        account = AdAccount()
+        account.flag("suspicious campaigns", at_hours=100.0)
+        assert account.status is AccountStatus.FLAGGED
+        account.suspend(at_hours=196.0)
+        assert account.status is AccountStatus.SUSPENDED
+        assert not account.is_active
+        with pytest.raises(AccountSuspendedError):
+            account.ensure_active()
+
+    def test_flagging_a_suspended_account_is_a_noop(self):
+        account = AdAccount()
+        account.suspend(at_hours=1.0)
+        account.flag("late flag", at_hours=2.0)
+        assert account.status is AccountStatus.SUSPENDED
+
+
+class TestPlatformPolicy:
+    def test_narrow_audience_warning(self):
+        policy = PlatformPolicy(platform=PlatformConfig())
+        warnings = policy.review_audience(TargetingSpec.for_interests([1]), raw_audience=12)
+        assert any(w.code == "audience_too_narrow" for w in warnings)
+
+    def test_no_warning_for_large_audiences_with_few_interests(self):
+        policy = PlatformPolicy(platform=PlatformConfig())
+        warnings = policy.review_audience(
+            TargetingSpec.for_interests([1, 2]), raw_audience=5_000_000
+        )
+        assert warnings == ()
+
+    def test_unusual_interest_count_warning(self):
+        policy = PlatformPolicy(platform=PlatformConfig())
+        spec = TargetingSpec.for_interests(list(range(15)))
+        warnings = policy.review_audience(spec, raw_audience=10_000_000)
+        assert any(w.code == "unusual_interest_count" for w in warnings)
+
+    def test_authorize_without_rules_always_approves(self):
+        policy = PlatformPolicy(platform=PlatformConfig())
+        decision = policy.authorize_campaign(
+            TargetingSpec.for_interests(list(range(22))), raw_audience=1.0
+        )
+        assert decision.approved
+        assert decision.has_warnings
+
+    def test_post_campaign_review_suspends_after_delay(self):
+        platform = PlatformConfig(suspension_review_delay_hours=96.0)
+        policy = PlatformPolicy(platform=platform)
+        account = AdAccount()
+        suspended = policy.post_campaign_review(
+            account, [50_000.0, 1.0, 3.0], review_time_hours=136.0
+        )
+        assert suspended
+        assert account.status is AccountStatus.SUSPENDED
+        assert account.suspended_at_hours == pytest.approx(136.0 + 96.0)
+
+    def test_post_campaign_review_ignores_broad_campaigns(self):
+        policy = PlatformPolicy(platform=PlatformConfig())
+        account = AdAccount()
+        assert not policy.post_campaign_review(
+            account, [10_000.0, 90_000.0], review_time_hours=10.0
+        )
+        assert account.is_active
+
+
+class TestCustomAudiences:
+    def test_hash_pii_is_deterministic_and_normalising(self):
+        assert hash_pii(" Alice@Example.com ") == hash_pii("alice@example.com")
+        assert hash_pii("alice@example.com") != hash_pii("bob@example.com")
+
+    def test_create_requires_100_matched_users(self):
+        manager = CustomAudienceManager(platform=PlatformConfig())
+        with pytest.raises(CustomAudienceError):
+            manager.create(["a@example.com"], matched_user_ids=range(99))
+
+    def test_create_with_exactly_100_users(self):
+        manager = CustomAudienceManager(platform=PlatformConfig())
+        audience = manager.create(["a@example.com"], matched_user_ids=range(100))
+        assert audience.matched_size == 100
+        assert audience.active_size == 100
+        assert audience.audience_id in manager
+
+    def test_single_active_user_loophole(self):
+        """The literature's trick: 100 matched users, only one reachable."""
+        manager = CustomAudienceManager(platform=PlatformConfig())
+        audience = manager.create(
+            ["x@example.com"],
+            matched_user_ids=range(100),
+            active_user_ids=[7],
+        )
+        assert audience.matched_size == 100
+        assert audience.active_size == 1
+
+    def test_active_users_must_be_matched(self):
+        manager = CustomAudienceManager(platform=PlatformConfig())
+        with pytest.raises(CustomAudienceError):
+            manager.create(
+                ["x@example.com"],
+                matched_user_ids=range(100),
+                active_user_ids=[500],
+            )
+
+    def test_duplicate_audience_id_rejected(self):
+        manager = CustomAudienceManager(platform=PlatformConfig())
+        manager.create(["a"], matched_user_ids=range(100), audience_id="ca_1")
+        with pytest.raises(CustomAudienceError):
+            manager.create(["b"], matched_user_ids=range(100), audience_id="ca_1")
+
+    def test_get_unknown_audience_raises(self):
+        manager = CustomAudienceManager(platform=PlatformConfig())
+        with pytest.raises(CustomAudienceError):
+            manager.get("ca_missing")

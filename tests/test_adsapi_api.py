@@ -1,0 +1,136 @@
+"""Tests for the AdsManagerAPI facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import AdsManagerAPI, TargetingSpec
+from repro.config import PlatformConfig
+from repro.countermeasures import InterestCapRule
+from repro.errors import (
+    AccountSuspendedError,
+    CampaignRejectedError,
+    RateLimitExceededError,
+    TargetingValidationError,
+)
+from repro.reach import country_codes
+from repro.simclock import SimClock
+
+
+def _single_interest_spec(catalog, index: int = 0) -> TargetingSpec:
+    interest = list(catalog)[index]
+    return TargetingSpec.for_interests([interest.interest_id])
+
+
+class TestEstimateReach:
+    def test_reports_floored_value_for_tiny_audiences(self, reach_model):
+        api = AdsManagerAPI(reach_model, platform=PlatformConfig(reach_floor=1_000))
+        rarest = reach_model.catalog.rarest(3)
+        spec = TargetingSpec.for_interests([i.interest_id for i in rarest])
+        estimate = api.estimate_reach(spec)
+        assert estimate.potential_reach >= 1_000
+
+    def test_single_interest_reach_close_to_catalog_audience(self, modern_api, catalog):
+        interest = catalog.most_popular(1)[0]
+        estimate = modern_api.estimate_reach(
+            TargetingSpec.for_interests([interest.interest_id])
+        )
+        assert estimate.potential_reach == pytest.approx(
+            interest.audience_size, rel=0.5
+        )
+
+    def test_adding_interests_never_increases_reported_reach(self, modern_api, panel):
+        user = max(panel.users, key=lambda u: u.interest_count)
+        previous = None
+        for n in range(1, 6):
+            spec = TargetingSpec.for_interests(user.interest_ids[:n])
+            reach = modern_api.estimate_reach(spec).potential_reach
+            if previous is not None:
+                assert reach <= previous
+            previous = reach
+
+    def test_legacy_platform_requires_locations(self, legacy_api, catalog):
+        with pytest.raises(TargetingValidationError):
+            legacy_api.estimate_reach(_single_interest_spec(catalog))
+
+    def test_legacy_platform_accepts_50_country_query(self, legacy_api, catalog):
+        interest = list(catalog)[0]
+        spec = TargetingSpec.for_interests(
+            [interest.interest_id], locations=country_codes()
+        )
+        estimate = legacy_api.estimate_reach(spec)
+        assert estimate.potential_reach >= legacy_api.platform.reach_floor
+
+    def test_counters_increment(self, modern_api, catalog):
+        before = modern_api.call_stats().reach_estimates
+        modern_api.estimate_reach(_single_interest_spec(catalog))
+        assert modern_api.call_stats().reach_estimates == before + 1
+
+    def test_suspended_account_cannot_query(self, modern_api, catalog):
+        modern_api.account.suspend(at_hours=0.0)
+        with pytest.raises(AccountSuspendedError):
+            modern_api.estimate_reach(_single_interest_spec(catalog))
+
+
+class TestRateLimiting:
+    def test_auto_wait_advances_the_simulated_clock(self, reach_model, catalog):
+        platform = PlatformConfig(rate_limit_requests_per_minute=60, rate_limit_burst=2)
+        clock = SimClock()
+        api = AdsManagerAPI(reach_model, platform=platform, clock=clock, auto_wait=True)
+        spec = _single_interest_spec(catalog)
+        for _ in range(5):
+            api.estimate_reach(spec)
+        assert clock.now() > 0.0
+        assert api.call_stats().rate_limited > 0
+
+    def test_without_auto_wait_the_error_is_raised(self, reach_model, catalog):
+        platform = PlatformConfig(rate_limit_requests_per_minute=60, rate_limit_burst=1)
+        api = AdsManagerAPI(
+            reach_model, platform=platform, clock=SimClock(), auto_wait=False
+        )
+        spec = _single_interest_spec(catalog)
+        api.estimate_reach(spec)
+        with pytest.raises(RateLimitExceededError):
+            api.estimate_reach(spec)
+
+
+class TestCampaignAuthorization:
+    def test_narrow_audience_is_approved_with_warning(self, modern_api, panel):
+        user = max(panel.users, key=lambda u: u.interest_count)
+        spec = TargetingSpec.for_interests(user.interest_ids[:22])
+        decision = modern_api.authorize_campaign(spec)
+        assert decision.approved
+        assert decision.has_warnings
+        assert modern_api.account.campaigns_launched == 1
+
+    def test_countermeasure_rule_rejects_campaign(self, modern_api, panel):
+        user = max(panel.users, key=lambda u: u.interest_count)
+        modern_api.policy.rules.append(InterestCapRule(max_interests=9))
+        try:
+            spec = TargetingSpec.for_interests(user.interest_ids[:22])
+            with pytest.raises(CampaignRejectedError):
+                modern_api.authorize_campaign(spec)
+            assert modern_api.call_stats().campaigns_rejected == 1
+        finally:
+            modern_api.policy.rules.clear()
+
+    def test_audience_warnings_helper(self, modern_api, panel):
+        user = max(panel.users, key=lambda u: u.interest_count)
+        spec = TargetingSpec.for_interests(user.interest_ids[:20])
+        warnings = modern_api.audience_warnings(spec)
+        assert warnings
+
+
+class TestCustomAudienceTargeting:
+    def test_custom_audience_reach_uses_active_size(self, modern_api):
+        modern_api.create_custom_audience(
+            ["a@example.com"],
+            matched_user_ids=range(150),
+            active_user_ids=range(120),
+            audience_id="ca_test",
+        )
+        spec = TargetingSpec(custom_audience_id="ca_test")
+        estimate = modern_api.estimate_reach(spec)
+        # 120 active users is below the 1,000-user floor, so the floor shows.
+        assert estimate.potential_reach == modern_api.platform.reach_floor
+        assert estimate.floored

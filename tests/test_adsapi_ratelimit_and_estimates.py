@@ -1,0 +1,95 @@
+"""Tests for the token-bucket rate limiter and reach-estimate floor logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import ReachEstimate, TokenBucket, apply_reporting_floor
+from repro.errors import AdsApiError, ConfigurationError, RateLimitExceededError
+from repro.simclock import SimClock
+
+
+class TestTokenBucket:
+    def test_burst_capacity_is_available_immediately(self):
+        clock = SimClock()
+        bucket = TokenBucket(requests_per_minute=60, burst=5, clock=clock)
+        for _ in range(5):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self):
+        clock = SimClock()
+        bucket = TokenBucket(requests_per_minute=60, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1.0)  # 60/min = 1 per second
+        assert bucket.try_acquire()
+
+    def test_acquire_raises_with_retry_hint(self):
+        clock = SimClock()
+        bucket = TokenBucket(requests_per_minute=60, burst=1, clock=clock)
+        bucket.acquire()
+        with pytest.raises(RateLimitExceededError) as excinfo:
+            bucket.acquire()
+        assert excinfo.value.retry_after_seconds > 0
+
+    def test_seconds_until_available(self):
+        clock = SimClock()
+        bucket = TokenBucket(requests_per_minute=60, burst=1, clock=clock)
+        bucket.acquire()
+        assert bucket.seconds_until_available() == pytest.approx(1.0, abs=0.05)
+
+    def test_capacity_never_exceeded(self):
+        clock = SimClock()
+        bucket = TokenBucket(requests_per_minute=600, burst=3, clock=clock)
+        clock.advance(3600)
+        assert bucket.available_tokens == pytest.approx(3.0)
+
+    def test_invalid_parameters_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigurationError):
+            TokenBucket(requests_per_minute=0, burst=1, clock=clock)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(requests_per_minute=60, burst=0, clock=clock)
+        bucket = TokenBucket(requests_per_minute=60, burst=1, clock=clock)
+        with pytest.raises(ConfigurationError):
+            bucket.try_acquire(0)
+
+
+class TestReachEstimate:
+    def test_floor_applied_to_small_audiences(self):
+        estimate = apply_reporting_floor(3.2, floor=20)
+        assert estimate.potential_reach == 20
+        assert estimate.floored
+        assert estimate.at_floor
+
+    def test_large_audiences_are_rounded(self):
+        estimate = apply_reporting_floor(1234.6, floor=20)
+        assert estimate.potential_reach == 1235
+        assert not estimate.floored
+
+    def test_value_exactly_at_floor(self):
+        estimate = apply_reporting_floor(20.0, floor=20)
+        assert estimate.potential_reach == 20
+        assert not estimate.floored
+        assert estimate.at_floor
+
+    def test_int_conversion(self):
+        assert int(apply_reporting_floor(500, floor=20)) == 500
+
+    def test_modern_floor_of_1000(self):
+        estimate = apply_reporting_floor(640, floor=1000)
+        assert estimate.potential_reach == 1000
+        assert estimate.floored
+
+    def test_negative_audience_rejected(self):
+        with pytest.raises(AdsApiError):
+            apply_reporting_floor(-1, floor=20)
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(AdsApiError):
+            apply_reporting_floor(100, floor=0)
+
+    def test_estimate_cannot_be_below_floor(self):
+        with pytest.raises(AdsApiError):
+            ReachEstimate(potential_reach=5, floor=20, floored=True)

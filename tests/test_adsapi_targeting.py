@@ -1,0 +1,113 @@
+"""Tests for targeting specs and their validation against platform limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import TargetingSpec, validate_spec
+from repro.config import PlatformConfig
+from repro.errors import TargetingValidationError, UnknownLocationError
+from repro.population import Gender
+from repro.reach import WORLDWIDE, country_codes
+
+
+class TestTargetingSpec:
+    def test_default_is_worldwide(self):
+        spec = TargetingSpec()
+        assert spec.is_worldwide
+        assert spec.effective_locations() is None
+
+    def test_for_interests_builder(self):
+        spec = TargetingSpec.for_interests([3, 1, 2])
+        assert spec.interests == (3, 1, 2)
+        assert spec.interest_count == 3
+        assert spec.interest_combine == "and"
+
+    def test_specific_locations_are_preserved(self):
+        spec = TargetingSpec.for_interests([1], locations=["ES", "FR"])
+        assert not spec.is_worldwide
+        assert spec.effective_locations() == ("ES", "FR")
+
+    def test_duplicate_interests_rejected(self):
+        with pytest.raises(TargetingValidationError):
+            TargetingSpec(interests=(1, 1))
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(TargetingValidationError):
+            TargetingSpec(locations=())
+
+    def test_invalid_combine_rejected(self):
+        with pytest.raises(TargetingValidationError):
+            TargetingSpec(interest_combine="xor")
+
+    def test_age_bounds_validated(self):
+        with pytest.raises(TargetingValidationError):
+            TargetingSpec(age_min=10)
+        with pytest.raises(TargetingValidationError):
+            TargetingSpec(age_min=30, age_max=20)
+
+    def test_with_interests_and_without_interest(self):
+        spec = TargetingSpec.for_interests([1, 2, 3])
+        widened = spec.with_interests([4, 5])
+        assert widened.interests == (4, 5)
+        narrowed = spec.without_interest(2)
+        assert narrowed.interests == (1, 3)
+
+    def test_with_locations(self):
+        spec = TargetingSpec.for_interests([1]).with_locations(["ES"])
+        assert spec.locations == ("ES",)
+
+    def test_describe_is_serialisable(self):
+        spec = TargetingSpec.for_interests([1, 2], locations=["ES"])
+        described = spec.describe()
+        assert described["interests"] == [1, 2]
+        assert described["locations"] == ["ES"]
+
+    def test_custom_audience_flag(self):
+        spec = TargetingSpec(custom_audience_id="ca_000001", genders=(Gender.MALE,))
+        assert spec.uses_custom_audience
+
+
+class TestValidation:
+    def test_valid_spec_passes(self):
+        validate_spec(TargetingSpec.for_interests([1, 2, 3]), PlatformConfig())
+
+    def test_worldwide_rejected_on_legacy_platform(self):
+        legacy = PlatformConfig.legacy_2017()
+        with pytest.raises(TargetingValidationError):
+            validate_spec(TargetingSpec.for_interests([1]), legacy)
+
+    def test_country_list_accepted_on_legacy_platform(self):
+        legacy = PlatformConfig.legacy_2017()
+        spec = TargetingSpec.for_interests([1], locations=country_codes())
+        validate_spec(spec, legacy)
+
+    def test_more_than_25_interests_rejected(self):
+        spec = TargetingSpec.for_interests(list(range(26)))
+        with pytest.raises(TargetingValidationError):
+            validate_spec(spec, PlatformConfig())
+
+    def test_exactly_25_interests_allowed(self):
+        spec = TargetingSpec.for_interests(list(range(25)))
+        validate_spec(spec, PlatformConfig())
+
+    def test_more_than_50_locations_rejected(self):
+        codes = list(country_codes()) + [WORLDWIDE]
+        spec = TargetingSpec(locations=tuple(codes), interests=(1,))
+        with pytest.raises(TargetingValidationError):
+            validate_spec(spec, PlatformConfig(max_locations_per_query=50))
+
+    def test_unknown_location_rejected(self):
+        spec = TargetingSpec(locations=("XX",), interests=(1,))
+        with pytest.raises(UnknownLocationError):
+            validate_spec(spec, PlatformConfig())
+
+    def test_worldwide_cannot_be_mixed_with_countries(self):
+        spec = TargetingSpec(locations=(WORLDWIDE, "ES"), interests=(1,))
+        with pytest.raises(TargetingValidationError):
+            validate_spec(spec, PlatformConfig())
+
+    def test_negative_interest_ids_rejected(self):
+        spec = TargetingSpec(interests=(-1,))
+        with pytest.raises(TargetingValidationError):
+            validate_spec(spec, PlatformConfig())

@@ -1,0 +1,148 @@
+"""Tests for the analysis helpers: CDFs, tables and figure series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EmpiricalCDF,
+    demographic_bar_series,
+    figure1_interests_per_user,
+    figure2_interest_audience_cdf,
+    figure3_illustration,
+    figures4_5_quantile_curves,
+    format_records,
+    format_table,
+    vas_series,
+)
+from repro.core import AudienceSamples
+from repro.errors import ModelError
+
+
+class TestEmpiricalCDF:
+    def test_evaluate_matches_definition(self):
+        cdf = EmpiricalCDF.from_samples([1, 2, 3, 4])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2) == pytest.approx(0.5)
+        assert cdf.evaluate(10) == 1.0
+
+    def test_percentiles_and_extremes(self):
+        cdf = EmpiricalCDF.from_samples(range(101))
+        assert cdf.median == pytest.approx(50.0)
+        assert cdf.minimum == 0.0
+        assert cdf.maximum == 100.0
+        p25, p75 = cdf.percentiles([25, 75])
+        assert p25 < p75
+
+    def test_series_is_monotone(self):
+        cdf = EmpiricalCDF.from_samples(np.random.default_rng(0).normal(size=500))
+        x, cumulative = cdf.series()
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_series_downsampling(self):
+        cdf = EmpiricalCDF.from_samples(range(1_000))
+        x, cumulative = cdf.series(n_points=50)
+        assert x.size <= 51
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_evaluate_many(self):
+        cdf = EmpiricalCDF.from_samples([1, 2, 3, 4])
+        values = cdf.evaluate_many([0, 2, 5])
+        assert list(values) == [0.0, 0.5, 1.0]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ModelError):
+            EmpiricalCDF.from_samples([])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ModelError):
+            EmpiricalCDF.from_samples([1, 2]).percentile(150)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "22.50" in lines[3]
+
+    def test_format_records(self):
+        text = format_records([{"a": 1, "b": True}, {"a": 2, "b": False}])
+        assert "yes" in text and "no" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ModelError):
+            format_table([], [])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ModelError):
+            format_records([])
+
+
+class TestFigureSeries:
+    def test_figure1_series(self, panel):
+        series = figure1_interests_per_user(panel)
+        assert series.x.size == len(panel)
+        assert series.cumulative[-1] == pytest.approx(1.0)
+
+    def test_figure2_series_uses_panel_interests(self, catalog, panel):
+        series = figure2_interest_audience_cdf(catalog, panel)
+        assert series.x.size == panel.unique_interest_ids().size
+        assert np.all(series.x >= 1)
+
+    def test_figure2_series_whole_catalog(self, catalog):
+        series = figure2_interest_audience_cdf(catalog)
+        assert series.x.size == len(catalog)
+
+    def _samples(self) -> AudienceSamples:
+        n_values = np.arange(1, 26, dtype=float)
+        base = 10 ** (7.5 - 6.5 * np.log10(n_values + 1.0))
+        rng = np.random.default_rng(3)
+        matrix = base[None, :] * 10 ** rng.normal(0, 0.3, size=(80, 25))
+        return AudienceSamples(matrix=np.maximum(matrix, 20.0), floor=20)
+
+    def test_vas_series_contains_fit(self):
+        series = vas_series(self._samples(), [50.0])
+        assert len(series) == 1
+        assert series[0].fitted_curve.shape == (25,)
+        assert series[0].fit.cutpoint > 0
+
+    def test_figure3_has_two_quantiles(self):
+        series = figure3_illustration(self._samples())
+        assert [s.quantile_percent for s in series] == [50.0, 90.0]
+
+    def test_figures4_5_have_four_quantiles(self):
+        series = figures4_5_quantile_curves(self._samples())
+        assert [s.quantile_percent for s in series] == [50.0, 80.0, 90.0, 95.0]
+
+    def test_demographic_bar_series(self, simulation):
+        from repro.adsapi import AdsManagerAPI
+        from repro.config import PlatformConfig, UniquenessConfig
+        from repro.core import RandomSelection, UniquenessModel
+        from repro.reach import country_codes
+        from repro.simclock import SimClock
+
+        api = AdsManagerAPI(
+            simulation.reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+        )
+        model = UniquenessModel(
+            api, simulation.panel, UniquenessConfig(n_bootstrap=20, seed=2),
+            locations=country_codes(),
+        )
+        report = model.estimate(RandomSelection(seed=2), probabilities=[0.9])
+        bars = demographic_bar_series({"all": report}, probability=0.9)
+        assert bars.labels == ("all",)
+        assert bars.values.shape == (1,)
+        assert bars.ci_low[0] <= bars.ci_high[0]
+
+    def test_demographic_bar_series_requires_groups(self):
+        with pytest.raises(ModelError):
+            demographic_bar_series({})

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: A very small scale keeps every CLI invocation fast.
+FACTOR = ["--factor", "80"]
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["uniqueness"])
+        assert args.factor == 20
+        assert args.probabilities == [0.5, 0.8, 0.9, 0.95]
+
+
+class TestDatasetCommand:
+    def test_writes_catalog_and_panel(self, tmp_path, capsys):
+        exit_code = main(
+            ["dataset", *FACTOR, "--output-dir", str(tmp_path / "data")]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "data" / "catalog.json").exists()
+        assert (tmp_path / "data" / "panel.json").exists()
+        captured = capsys.readouterr().out
+        assert "catalog" in captured and "panel" in captured
+
+
+class TestUniquenessCommand:
+    def test_prints_table_and_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "table1.json"
+        exit_code = main(
+            [
+                "uniqueness",
+                *FACTOR,
+                "--probabilities",
+                "0.5",
+                "0.9",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "least_popular" in captured
+        assert "random" in captured
+        payload = json.loads(output.read_text())
+        assert set(payload) == {"least_popular", "random"}
+        assert "0.9" in payload["random"]["estimates"]
+
+
+class TestNanotargetingCommand:
+    def test_runs_21_campaigns(self, tmp_path, capsys):
+        output = tmp_path / "table2.json"
+        exit_code = main(["nanotargeting", *FACTOR, "--output", str(output)])
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert payload["n_campaigns"] == 21
+        assert "successful campaigns" in capsys.readouterr().out
+
+    def test_fail_on_success_flag(self, capsys):
+        exit_code = main(["nanotargeting", *FACTOR, "--fail-on-success"])
+        # The unprotected platform lets nanotargeting succeed, so the
+        # regression-check mode must signal failure.
+        assert exit_code == 1
+
+
+class TestFdvtReportCommand:
+    def test_prints_risk_rows(self, capsys):
+        exit_code = main(["fdvt-report", *FACTOR, "--limit", "5"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "risk breakdown" in captured
+        assert "panel user #" in captured
+
+
+class TestCountermeasuresCommand:
+    def test_reports_attack_reduction(self, capsys):
+        exit_code = main(["countermeasures", *FACTOR, "--workload-size", "50"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "protected successes: 0/21" in captured
+        assert "attack reduction" in captured

@@ -1,0 +1,140 @@
+"""Tests for the attacker-side planner built on the uniqueness model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AttackPlanner, fit_vas
+from repro.core.bootstrap import ConfidenceInterval
+from repro.core.results import NPEstimate, UniquenessReport
+from repro.errors import ModelError
+from repro.population import SyntheticUser
+
+
+def _report(cutpoints: dict[float, float]) -> UniquenessReport:
+    """Build a synthetic uniqueness report with prescribed cutpoints."""
+    estimates = {}
+    for probability, cutpoint in cutpoints.items():
+        # Build a fit whose cutpoint equals the requested value.
+        slope = 6.0
+        intercept = slope * np.log10(cutpoint + 1.0)
+        vas = 10 ** (intercept - slope * np.log10(np.arange(1, 26) + 1.0))
+        fit = fit_vas(np.maximum(vas, 1.0), floor=1)
+        estimates[probability] = NPEstimate(
+            probability=probability,
+            n_p=fit.cutpoint,
+            confidence_interval=ConfidenceInterval(
+                low=fit.cutpoint * 0.9, high=fit.cutpoint * 1.1, level=0.95
+            ),
+            r_squared=fit.r_squared,
+            fit=fit,
+        )
+    return UniquenessReport(
+        strategy_name="random",
+        estimates=estimates,
+        vas_curves={p: np.array([]) for p in cutpoints},
+        n_users=100,
+        floor=20,
+    )
+
+
+PAPER_LIKE = {0.5: 11.4, 0.8: 17.3, 0.9: 22.2, 0.95: 27.0}
+
+
+class TestSuccessProbability:
+    def test_matches_cutpoints_exactly(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        assert planner.success_probability(12) == pytest.approx(0.5, abs=0.05)
+        assert planner.success_probability(23) == pytest.approx(0.9, abs=0.05)
+
+    def test_monotone_in_interest_count(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        values = [planner.success_probability(n) for n in range(1, 30)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_saturates_at_highest_probability(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        assert planner.success_probability(200) == pytest.approx(0.95)
+
+    def test_small_counts_have_small_probability(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        assert planner.success_probability(2) < 0.2
+
+    def test_invalid_count_rejected(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        with pytest.raises(ModelError):
+            planner.success_probability(0)
+
+
+class TestInterestsNeeded:
+    def test_paper_regime(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        assert planner.interests_needed(0.5) <= 13
+        assert 18 <= planner.interests_needed(0.9) <= 24
+
+    def test_95_percent_attack_is_not_actionable(self):
+        """The paper: 27 interests exceed the 25-interest platform cap."""
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        with pytest.raises(ModelError):
+            planner.interests_needed(0.95)
+
+    def test_invalid_probability_rejected(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        with pytest.raises(ModelError):
+            planner.interests_needed(1.5)
+
+
+class TestAssessAndPlan:
+    def test_assessment_uses_at_most_the_platform_cap(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        assessment = planner.assess(list(range(40)))
+        assert assessment.n_interests_known == 40
+        assert assessment.n_interests_used == 25
+        assert assessment.actionable
+
+    def test_assessment_requires_known_interests(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        with pytest.raises(ModelError):
+            planner.assess([])
+
+    def test_predicted_audience_decreases_with_interests(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        assert planner.predicted_audience(5) > planner.predicted_audience(20)
+
+    def test_plan_filters_wrong_guesses(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        victim = SyntheticUser(7, "ES", interest_ids=tuple(range(10, 40)))
+        known = list(range(0, 20))  # only 10..19 are actually the victim's
+        plan = planner.plan(victim, known)
+        assert set(plan.interests) <= set(victim.interest_ids)
+        assert plan.assessment.n_interests_known == 10
+        assert plan.victim_user_id == 7
+
+    def test_plan_requires_at_least_one_correct_interest(self):
+        planner = AttackPlanner(_report(PAPER_LIKE))
+        victim = SyntheticUser(7, "ES", interest_ids=(1, 2, 3))
+        with pytest.raises(ModelError):
+            planner.plan(victim, [99, 100])
+
+    def test_planner_on_simulated_report(self, simulation):
+        """Integration: plan an attack from a report estimated on the panel."""
+        from repro.adsapi import AdsManagerAPI
+        from repro.config import PlatformConfig, UniquenessConfig
+        from repro.core import RandomSelection, UniquenessModel
+        from repro.reach import country_codes
+        from repro.simclock import SimClock
+
+        api = AdsManagerAPI(
+            simulation.reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+        )
+        model = UniquenessModel(
+            api, simulation.panel, UniquenessConfig(n_bootstrap=20, seed=3),
+            locations=country_codes(),
+        )
+        report = model.estimate(RandomSelection(seed=3), probabilities=[0.5, 0.9])
+        planner = AttackPlanner(report)
+        victim = max(simulation.panel.users, key=lambda u: u.interest_count)
+        plan = planner.plan(victim, victim.interest_ids[:25])
+        assert plan.assessment.success_probability > 0.5
+        assert len(plan.interests) <= 25

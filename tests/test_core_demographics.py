@@ -1,0 +1,64 @@
+"""Tests for the demographic breakdown of the uniqueness analysis (Appendix C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import AdsManagerAPI
+from repro.config import PlatformConfig, UniquenessConfig
+from repro.core import DemographicAnalysis, LeastPopularSelection, RandomSelection
+from repro.reach import country_codes
+from repro.simclock import SimClock
+
+
+@pytest.fixture(scope="module")
+def analysis(simulation):
+    api = AdsManagerAPI(
+        simulation.reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+    )
+    return DemographicAnalysis(
+        api,
+        simulation.panel,
+        strategies=[LeastPopularSelection(), RandomSelection(seed=4)],
+        probability=0.9,
+        config=UniquenessConfig(n_bootstrap=40, seed=4),
+        locations=country_codes(),
+        min_group_size=5,
+    )
+
+
+class TestGenderAnalysis:
+    def test_reports_both_genders(self, analysis):
+        groups = analysis.by_gender()
+        labels = {group.group_label for group in groups}
+        assert labels == {"men", "women"}
+
+    def test_each_group_has_both_strategies(self, analysis):
+        for group in analysis.by_gender():
+            assert set(group.estimates) == {"least_popular", "random"}
+            assert group.n_users > 0
+
+    def test_lp_below_random_within_each_gender(self, analysis):
+        for group in analysis.by_gender():
+            lp = group.estimate_for("least_popular").n_p
+            random = group.estimate_for("random").n_p
+            assert lp < random
+
+
+class TestAgeAnalysis:
+    def test_reports_at_most_three_age_groups(self, analysis):
+        groups = analysis.by_age_group()
+        labels = {group.group_label for group in groups}
+        assert labels <= {"adolescence", "early_adulthood", "adulthood"}
+        assert "early_adulthood" in labels
+
+
+class TestCountryAnalysis:
+    def test_small_groups_are_skipped(self, analysis):
+        groups = analysis.by_country(["ES", "AX"])
+        labels = {group.group_label for group in groups}
+        assert "AX" not in labels
+
+    def test_country_estimates_are_positive(self, analysis):
+        for group in analysis.by_country(["ES"]):
+            assert group.estimate_for("random").n_p > 0

@@ -1,0 +1,241 @@
+"""Tests for campaign objects: creatives, schedules, auction, click log, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import TargetingSpec
+from repro.delivery import (
+    AdCreative,
+    AuctionModel,
+    Campaign,
+    CampaignMetrics,
+    CampaignSchedule,
+    CampaignStatus,
+    ClickLog,
+    TimeWindow,
+    pseudonymize_ip,
+)
+from repro.errors import DeliveryError
+
+
+class TestAdCreative:
+    def test_experiment_creative_identifies_target_and_count(self):
+        creative = AdCreative.for_experiment("User 3", 12)
+        assert "User 3" in creative.body
+        assert "12 interests" in creative.body
+        assert creative.landing_url.endswith("user-3-12-interests")
+
+    def test_unique_landing_pages_per_campaign(self):
+        first = AdCreative.for_experiment("User 1", 5)
+        second = AdCreative.for_experiment("User 1", 7)
+        assert first.landing_url != second.landing_url
+
+    def test_invalid_creative_rejected(self):
+        with pytest.raises(DeliveryError):
+            AdCreative("", "t", "b", "https://x")
+        with pytest.raises(DeliveryError):
+            AdCreative.for_experiment("User 1", 0)
+
+
+class TestSchedule:
+    def test_paper_schedule_totals_33_hours(self):
+        schedule = CampaignSchedule.paper_schedule()
+        assert schedule.total_active_hours == pytest.approx(33.0)
+        assert len(schedule.windows) == 4
+
+    def test_active_hours_enumeration(self):
+        schedule = CampaignSchedule(
+            windows=(TimeWindow(0.0, 2.0), TimeWindow(10.0, 13.0))
+        )
+        hours = list(schedule.active_hours())
+        assert hours == [0.0, 1.0, 10.0, 11.0, 12.0]
+
+    def test_elapsed_active_hours_skips_pauses(self):
+        schedule = CampaignSchedule(
+            windows=(TimeWindow(0.0, 2.0), TimeWindow(10.0, 13.0))
+        )
+        assert schedule.elapsed_active_hours(1.0) == pytest.approx(1.0)
+        assert schedule.elapsed_active_hours(5.0) == pytest.approx(2.0)
+        assert schedule.elapsed_active_hours(11.5) == pytest.approx(3.5)
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(DeliveryError):
+            CampaignSchedule(windows=(TimeWindow(5.0, 8.0), TimeWindow(2.0, 4.0)))
+
+    def test_window_must_have_positive_duration(self):
+        with pytest.raises(DeliveryError):
+            TimeWindow(3.0, 3.0)
+
+    def test_span_days(self):
+        schedule = CampaignSchedule.paper_schedule()
+        assert schedule.span_days > 4.0
+
+
+class TestCampaign:
+    def _campaign(self) -> Campaign:
+        return Campaign(
+            campaign_id="c1",
+            spec=TargetingSpec.for_interests([1, 2, 3]),
+            creative=AdCreative.for_experiment("User 1", 3),
+            schedule=CampaignSchedule.paper_schedule(),
+            daily_budget_eur=10.0,
+            initial_budget_eur=70.0,
+        )
+
+    def test_interest_count(self):
+        assert self._campaign().interest_count == 3
+
+    def test_status_transition_is_immutable(self):
+        campaign = self._campaign()
+        active = campaign.with_status(CampaignStatus.ACTIVE)
+        assert campaign.status is CampaignStatus.DRAFT
+        assert active.status is CampaignStatus.ACTIVE
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(DeliveryError):
+            Campaign(
+                campaign_id="c2",
+                spec=TargetingSpec.for_interests([1]),
+                creative=AdCreative.for_experiment("User 1", 1),
+                schedule=CampaignSchedule.paper_schedule(),
+                daily_budget_eur=0.0,
+                initial_budget_eur=70.0,
+            )
+
+
+class TestAuctionModel:
+    def test_cpm_sampling_is_positive_and_varies(self):
+        auction = AuctionModel()
+        cpms = {auction.sample_cpm(seed=i) for i in range(10)}
+        assert all(cpm > 0 for cpm in cpms)
+        assert len(cpms) > 1
+
+    def test_hourly_budget(self):
+        auction = AuctionModel(active_hours_per_day=12.0)
+        assert auction.hourly_budget(12.0) == pytest.approx(1.0)
+
+    def test_impressions_for_budget(self):
+        auction = AuctionModel()
+        assert auction.impressions_for_budget(1.0, cpm_eur=1.0) == pytest.approx(1000.0)
+
+    def test_billed_cost_rounds_to_cents(self):
+        auction = AuctionModel()
+        assert auction.billed_cost(10_000, cpm_eur=0.75) == pytest.approx(7.5)
+
+    def test_tiny_campaigns_can_be_free(self):
+        auction = AuctionModel()
+        assert auction.billed_cost(1, cpm_eur=0.75) == 0.0
+
+    def test_single_impression_at_high_cpm_is_one_cent(self):
+        auction = AuctionModel()
+        assert auction.billed_cost(1, cpm_eur=9.0) == pytest.approx(0.01)
+
+    def test_negative_impressions_rejected(self):
+        with pytest.raises(DeliveryError):
+            AuctionModel().billed_cost(-1, cpm_eur=1.0)
+
+
+class TestClickLog:
+    def test_ip_addresses_are_pseudonymised(self):
+        log = ClickLog(secret_key="secret")
+        entry = log.record(
+            campaign_id="c1",
+            landing_url="https://x/l1",
+            hour=1.0,
+            ip_address="192.0.2.1",
+            is_target=True,
+        )
+        assert entry.pseudonymized_ip != "192.0.2.1"
+        assert entry.pseudonymized_ip == pseudonymize_ip("192.0.2.1", "secret")
+
+    def test_same_ip_same_pseudonym_different_keys_differ(self):
+        assert pseudonymize_ip("192.0.2.1", "k1") == pseudonymize_ip("192.0.2.1", "k1")
+        assert pseudonymize_ip("192.0.2.1", "k1") != pseudonymize_ip("192.0.2.1", "k2")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(DeliveryError):
+            pseudonymize_ip("192.0.2.1", "")
+
+    def test_per_campaign_queries(self):
+        log = ClickLog()
+        log.record(campaign_id="a", landing_url="u", hour=1.0, ip_address="1.1.1.1", is_target=True)
+        log.record(campaign_id="a", landing_url="u", hour=2.0, ip_address="1.1.1.1", is_target=True)
+        log.record(campaign_id="b", landing_url="v", hour=3.0, ip_address="2.2.2.2", is_target=False)
+        assert len(log.entries_for("a")) == 2
+        assert log.unique_ips_for("a") == 1
+        assert log.has_target_click("a")
+        assert not log.has_target_click("b")
+
+
+class TestCampaignMetrics:
+    def test_valid_metrics(self):
+        metrics = CampaignMetrics(
+            seen=True,
+            reached=1,
+            impressions=3,
+            time_to_first_impression_hours=2.5,
+            cost_eur=0.01,
+            clicks=3,
+            unique_click_ips=2,
+        )
+        assert metrics.exclusively_reached_one_user
+        assert metrics.format_tfi() == "2h 30'"
+        assert metrics.format_cost() == "€0.01"
+
+    def test_free_cost_formatting(self):
+        metrics = CampaignMetrics(
+            seen=True,
+            reached=1,
+            impressions=1,
+            time_to_first_impression_hours=0.75,
+            cost_eur=0.0,
+            clicks=1,
+            unique_click_ips=1,
+        )
+        assert metrics.format_cost() == "Free"
+        assert metrics.format_tfi() == "45'"
+
+    def test_unseen_campaign_has_no_tfi(self):
+        metrics = CampaignMetrics(
+            seen=False,
+            reached=100,
+            impressions=200,
+            time_to_first_impression_hours=None,
+            cost_eur=5.0,
+            clicks=2,
+            unique_click_ips=2,
+        )
+        assert metrics.format_tfi() == "-"
+
+    def test_inconsistent_metrics_rejected(self):
+        with pytest.raises(DeliveryError):
+            CampaignMetrics(
+                seen=True,
+                reached=1,
+                impressions=1,
+                time_to_first_impression_hours=None,
+                cost_eur=0.0,
+                clicks=1,
+                unique_click_ips=1,
+            )
+        with pytest.raises(DeliveryError):
+            CampaignMetrics(
+                seen=False,
+                reached=10,
+                impressions=5,
+                time_to_first_impression_hours=None,
+                cost_eur=0.0,
+                clicks=0,
+                unique_click_ips=0,
+            )
+        with pytest.raises(DeliveryError):
+            CampaignMetrics(
+                seen=False,
+                reached=1,
+                impressions=1,
+                time_to_first_impression_hours=None,
+                cost_eur=0.0,
+                clicks=1,
+                unique_click_ips=2,
+            )

@@ -1,0 +1,169 @@
+"""Tests for the delivery engine and disclosures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adsapi import TargetingSpec
+from repro.delivery import (
+    AdCreative,
+    Campaign,
+    CampaignSchedule,
+    ClickLog,
+    DeliveryConfig,
+    DeliveryEngine,
+    build_disclosure,
+)
+from repro.errors import DeliveryError
+
+
+def _campaign(catalog, n_interests: int, campaign_id: str = "c1") -> Campaign:
+    interests = [interest.interest_id for interest in list(catalog)[:n_interests]]
+    return Campaign(
+        campaign_id=campaign_id,
+        spec=TargetingSpec.for_interests(interests),
+        creative=AdCreative.for_experiment("User 1", n_interests),
+        schedule=CampaignSchedule.paper_schedule(),
+        daily_budget_eur=10.0,
+        initial_budget_eur=70.0,
+    )
+
+
+@pytest.fixture()
+def engine(catalog) -> DeliveryEngine:
+    return DeliveryEngine(catalog, seed=7)
+
+
+class TestDeliveryEngine:
+    def test_single_user_audience_is_nanotargeted(self, catalog, engine):
+        log = ClickLog()
+        outcome = engine.run(
+            _campaign(catalog, 22),
+            audience_size=1.0,
+            target_user_id=42,
+            click_log=log,
+        )
+        metrics = outcome.metrics
+        assert metrics.reached == 1
+        assert metrics.seen
+        assert metrics.impressions >= 1
+        assert metrics.cost_eur < 0.2
+        assert log.has_target_click("c1")
+        assert outcome.disclosure is not None
+
+    def test_large_audience_reaches_many_users(self, catalog, engine):
+        outcome = engine.run(
+            _campaign(catalog, 5),
+            audience_size=5_000_000.0,
+            target_user_id=42,
+        )
+        metrics = outcome.metrics
+        assert metrics.reached > 1_000
+        assert metrics.impressions >= metrics.reached
+        assert metrics.cost_eur > 1.0
+
+    def test_large_audience_rarely_hits_the_target(self, catalog):
+        engine = DeliveryEngine(catalog, seed=3)
+        seen = 0
+        for index in range(10):
+            outcome = engine.run(
+                _campaign(catalog, 5, campaign_id=f"c{index}"),
+                audience_size=50_000_000.0,
+                target_user_id=42,
+            )
+            seen += int(outcome.metrics.seen)
+        assert seen <= 3
+
+    def test_small_audience_usually_hits_the_target(self, catalog):
+        engine = DeliveryEngine(catalog, seed=3)
+        seen = 0
+        for index in range(10):
+            outcome = engine.run(
+                _campaign(catalog, 18, campaign_id=f"s{index}"),
+                audience_size=2.0,
+                target_user_id=42,
+            )
+            seen += int(outcome.metrics.seen)
+        assert seen >= 8
+
+    def test_target_not_in_audience_is_never_seen(self, catalog, engine):
+        outcome = engine.run(
+            _campaign(catalog, 9),
+            audience_size=500.0,
+            target_user_id=42,
+            target_in_audience=False,
+        )
+        assert not outcome.metrics.seen
+        assert outcome.disclosure is None
+
+    def test_zero_audience_produces_empty_outcome(self, catalog, engine):
+        outcome = engine.run(
+            _campaign(catalog, 9),
+            audience_size=0.0,
+            target_user_id=42,
+            target_in_audience=False,
+        )
+        assert outcome.metrics.impressions == 0
+        assert outcome.metrics.reached == 0
+        assert outcome.metrics.cost_eur == 0.0
+
+    def test_tfi_is_within_active_hours(self, catalog, engine):
+        outcome = engine.run(
+            _campaign(catalog, 20),
+            audience_size=1.0,
+            target_user_id=42,
+        )
+        tfi = outcome.metrics.time_to_first_impression_hours
+        assert tfi is not None
+        assert 0.0 <= tfi <= 33.0
+
+    def test_negative_audience_rejected(self, catalog, engine):
+        with pytest.raises(DeliveryError):
+            engine.run(_campaign(catalog, 5), audience_size=-1.0, target_user_id=1)
+
+    def test_deterministic_given_seed(self, catalog):
+        results = []
+        for _ in range(2):
+            engine = DeliveryEngine(catalog, seed=11)
+            outcome = engine.run(
+                _campaign(catalog, 12), audience_size=300.0, target_user_id=9
+            )
+            results.append(
+                (outcome.metrics.reached, outcome.metrics.impressions, outcome.metrics.seen)
+            )
+        assert results[0] == results[1]
+
+    def test_clicks_match_click_log(self, catalog, engine):
+        log = ClickLog()
+        outcome = engine.run(
+            _campaign(catalog, 7),
+            audience_size=20_000.0,
+            target_user_id=42,
+            click_log=log,
+        )
+        assert outcome.metrics.clicks == len(log.entries_for("c1"))
+        assert outcome.metrics.unique_click_ips <= outcome.metrics.clicks
+
+
+class TestDeliveryConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeliveryError):
+            DeliveryConfig(hourly_activity=0.0)
+        with pytest.raises(DeliveryError):
+            DeliveryConfig(frequency_cap=0)
+        with pytest.raises(DeliveryError):
+            DeliveryConfig(non_target_ctr=1.5)
+
+
+class TestDisclosure:
+    def test_disclosure_matches_campaign_spec(self, catalog):
+        campaign = _campaign(catalog, 12)
+        disclosure = build_disclosure(campaign, catalog, captured_at_hour=5.0)
+        assert disclosure.matches_spec(campaign)
+        assert len(disclosure.interest_names) == 12
+
+    def test_disclosure_detects_mismatched_campaign(self, catalog):
+        campaign = _campaign(catalog, 12)
+        other = _campaign(catalog, 5, campaign_id="c2")
+        disclosure = build_disclosure(campaign, catalog, captured_at_hour=5.0)
+        assert not disclosure.matches_spec(other)

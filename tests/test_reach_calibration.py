@@ -1,0 +1,60 @@
+"""Tests for the correlation-exponent calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.reach import calibrate_correlation_alpha, median_cutpoint
+
+
+def _profiles(rng: np.random.Generator, n_users: int = 200, n_interests: int = 30):
+    """Synthetic per-user marginal-probability profiles (random order)."""
+    profiles = []
+    for _ in range(n_users):
+        log10_p = rng.normal(-3.5, 0.9, size=n_interests)
+        profiles.append(np.clip(10.0**log10_p, 1e-9, 0.5))
+    return profiles
+
+
+class TestMedianCutpoint:
+    def test_decreases_with_alpha(self):
+        rng = np.random.default_rng(1)
+        profiles = _profiles(rng)
+        world = 1.5e9
+        low = median_cutpoint(profiles, 0.1, world)
+        high = median_cutpoint(profiles, 0.9, world)
+        assert high < low
+
+    def test_requires_profiles(self):
+        with pytest.raises(CalibrationError):
+            median_cutpoint([], 0.5, 1e9)
+
+
+class TestCalibration:
+    def test_calibration_hits_target(self):
+        rng = np.random.default_rng(2)
+        profiles = _profiles(rng)
+        result = calibrate_correlation_alpha(
+            profiles, 1.5e9, target_median_cutpoint=11.41, tolerance=0.5
+        )
+        assert result.error <= 0.5
+        assert 0.01 <= result.alpha <= 1.0
+
+    def test_unreachable_target_raises(self):
+        rng = np.random.default_rng(3)
+        profiles = _profiles(rng, n_interests=5)
+        with pytest.raises(CalibrationError):
+            calibrate_correlation_alpha(
+                profiles, 1.5e9, target_median_cutpoint=500.0, tolerance=0.1
+            )
+
+    def test_requires_profiles(self):
+        with pytest.raises(CalibrationError):
+            calibrate_correlation_alpha([], 1.5e9)
+
+    def test_invalid_target_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(CalibrationError):
+            calibrate_correlation_alpha(_profiles(rng), 1.5e9, target_median_cutpoint=0.5)
