@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the batched reach-pipeline hot paths.
+
+Unlike the ``bench_fig*`` / ``bench_table*`` modules (pytest-benchmark
+harness reproducing the paper's figures), this is a plain script that times
+the three hot paths industrialised by the batched pipeline —
+
+* audience-size **collection** (one batched prefix query per user vs the
+  scalar per-(user, N) loop),
+* **estimation** (quantiles + log-log fits + confidence intervals),
+* the **bootstrap** (vectorised resampling + ``fit_vas_many`` vs the
+  per-replicate Python loop),
+
+— verifies that both paths agree bit-for-bit, and appends the timings to a
+``BENCH_perf.json`` trajectory file so future PRs can track the speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py            # benchmark scale
+    PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py --quick    # CI smoke scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import build_simulation, quick_config
+from repro._rng import as_generator
+from repro.adsapi import AdsManagerAPI
+from repro.config import PlatformConfig, UniquenessConfig
+from repro.core import (
+    AudienceSizeCollector,
+    RandomSelection,
+    UniquenessModel,
+    bootstrap_cutpoints,
+)
+from repro.core.fitting import fit_vas
+from repro.errors import ModelError
+from repro.reach import country_codes
+from repro.simclock import SimClock
+
+#: Scale divisor matching benchmarks/conftest.py's mid-scale simulation.
+BENCH_SCALE_FACTOR = 8
+QUICK_SCALE_FACTOR = 50
+
+QUANTILES = (50.0, 90.0, 95.0)
+
+
+def _timed(label: str, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<38s} {elapsed * 1000.0:10.1f} ms")
+    return elapsed, result
+
+
+def _scalar_bootstrap_reference(samples, qs, n_bootstrap: int, seed: int):
+    """The pre-vectorisation bootstrap: one percentile + fit per replicate."""
+    rng = as_generator(seed)
+    results: dict[float, list[float]] = {q: [] for q in qs}
+    matrix = samples.matrix
+    n_users = samples.n_users
+    for _ in range(n_bootstrap):
+        indices = rng.integers(0, n_users, size=n_users)
+        resampled = matrix[indices]
+        with np.errstate(all="ignore"):
+            vas_rows = np.atleast_2d(np.nanpercentile(resampled, list(qs), axis=0))
+        for q, vas in zip(qs, vas_rows):
+            try:
+                results[q].append(fit_vas(vas, samples.floor).cutpoint)
+            except ModelError:
+                results[q].append(float("nan"))
+    return {q: np.asarray(values, dtype=float) for q, values in results.items()}
+
+
+def run_benchmark(factor: int, n_bootstrap: int) -> dict:
+    simulation = build_simulation(quick_config(factor=factor))
+    locations = country_codes()
+    strategy = RandomSelection(seed=20211102)
+
+    def fresh_api() -> AdsManagerAPI:
+        return AdsManagerAPI(
+            simulation.reach_model,
+            platform=PlatformConfig.legacy_2017(),
+            clock=SimClock(),
+        )
+
+    def fresh_collector() -> AudienceSizeCollector:
+        return AudienceSizeCollector(
+            fresh_api(), simulation.panel, max_interests=25, locations=locations
+        )
+
+    print(
+        f"panel={len(simulation.panel)} users, catalog={len(simulation.catalog)} "
+        f"interests, bootstrap={n_bootstrap} replicates"
+    )
+
+    print("collection (users x 25 prefix audiences):")
+    batch_collect_s, batch_samples = _timed(
+        "batched (one prefix query per user)",
+        lambda: fresh_collector().collect(strategy),
+    )
+    scalar_collect_s, scalar_samples = _timed(
+        "scalar (one API call per cell)",
+        lambda: fresh_collector().collect(strategy, batch=False),
+    )
+    collection_identical = bool(
+        np.array_equal(batch_samples.matrix, scalar_samples.matrix, equal_nan=True)
+    )
+    print(f"  matrices bit-identical: {collection_identical}")
+
+    print("bootstrap cutpoints:")
+    vector_bootstrap_s, vector_cutpoints = _timed(
+        "vectorised (fit_vas_many, chunked)",
+        lambda: bootstrap_cutpoints(
+            batch_samples, QUANTILES, n_bootstrap=n_bootstrap, seed=7
+        ),
+    )
+    scalar_bootstrap_s, scalar_cutpoints = _timed(
+        "scalar reference (per-replicate loop)",
+        lambda: _scalar_bootstrap_reference(
+            batch_samples, QUANTILES, n_bootstrap, seed=7
+        ),
+    )
+    bootstrap_identical = all(
+        np.array_equal(vector_cutpoints[q], scalar_cutpoints[q], equal_nan=True)
+        for q in QUANTILES
+    )
+    print(f"  cutpoint distributions bit-identical: {bootstrap_identical}")
+
+    print("end-to-end estimation (collect cached):")
+    model = UniquenessModel(
+        fresh_api(),
+        simulation.panel,
+        UniquenessConfig(n_bootstrap=n_bootstrap, seed=20211102),
+        locations=locations,
+    )
+    estimate_s, report = _timed(
+        "UniquenessModel.estimate",
+        lambda: model.estimate(strategy, samples=batch_samples),
+    )
+
+    batched_total = batch_collect_s + vector_bootstrap_s
+    scalar_total = scalar_collect_s + scalar_bootstrap_s
+    speedup = scalar_total / batched_total if batched_total > 0 else float("inf")
+    print(
+        f"collect+bootstrap: scalar {scalar_total:.3f}s vs batched "
+        f"{batched_total:.3f}s -> {speedup:.1f}x speedup"
+    )
+
+    return {
+        "scale_factor": factor,
+        "n_users": len(simulation.panel),
+        "n_interests_catalog": len(simulation.catalog),
+        "max_interests": 25,
+        "n_bootstrap": n_bootstrap,
+        "timings_seconds": {
+            "collect_batched": batch_collect_s,
+            "collect_scalar": scalar_collect_s,
+            "bootstrap_vectorised": vector_bootstrap_s,
+            "bootstrap_scalar_reference": scalar_bootstrap_s,
+            "estimate": estimate_s,
+        },
+        "speedups": {
+            "collect": scalar_collect_s / batch_collect_s,
+            "bootstrap": scalar_bootstrap_s / vector_bootstrap_s,
+            "collect_plus_bootstrap": speedup,
+        },
+        "parity": {
+            "collection_bit_identical": collection_identical,
+            "bootstrap_bit_identical": bootstrap_identical,
+        },
+        "sample_cutpoints": {
+            str(probability): estimate.n_p
+            for probability, estimate in report.estimates.items()
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke scale (small panel, few replicates)",
+    )
+    parser.add_argument("--factor", type=int, default=None, help="scale divisor")
+    parser.add_argument(
+        "--bootstrap", type=int, default=None, help="bootstrap replicates"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json",
+        help="trajectory JSON file to append to",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless collect+bootstrap speedup reaches this",
+    )
+    args = parser.parse_args()
+
+    factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
+    n_bootstrap = args.bootstrap or (100 if args.quick else 2_000)
+
+    record = run_benchmark(factor, n_bootstrap)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    record["python"] = platform.python_version()
+    record["numpy"] = np.__version__
+
+    trajectory: list[dict] = []
+    if args.output.exists():
+        try:
+            existing = json.loads(args.output.read_text())
+            trajectory = existing if isinstance(existing, list) else [existing]
+        except (ValueError, OSError):
+            trajectory = []
+    trajectory.append(record)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None:
+        achieved = record["speedups"]["collect_plus_bootstrap"]
+        if achieved < args.min_speedup:
+            print(f"FAIL: speedup {achieved:.1f}x < required {args.min_speedup:.1f}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

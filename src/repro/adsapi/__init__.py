@@ -5,7 +5,11 @@ from .api import AdsManagerAPI, ApiCallStats
 from .custom_audience import CustomAudience, CustomAudienceManager, hash_pii
 from .policy import CampaignDecision, CampaignRule, PlatformPolicy, PolicyWarning
 from .ratelimit import TokenBucket
-from .reachestimate import ReachEstimate, apply_reporting_floor
+from .reachestimate import (
+    ReachEstimate,
+    apply_reporting_floor,
+    apply_reporting_floor_batch,
+)
 from .targeting import TargetingSpec
 from .validation import validate_spec
 
@@ -24,6 +28,7 @@ __all__ = [
     "TargetingSpec",
     "TokenBucket",
     "apply_reporting_floor",
+    "apply_reporting_floor_batch",
     "hash_pii",
     "validate_spec",
 ]

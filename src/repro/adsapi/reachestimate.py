@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..errors import AdsApiError
 
@@ -47,3 +50,30 @@ def apply_reporting_floor(raw_audience: float, floor: int) -> ReachEstimate:
     if rounded < floor:
         return ReachEstimate(potential_reach=floor, floor=floor, floored=True)
     return ReachEstimate(potential_reach=rounded, floor=floor, floored=False)
+
+
+def apply_reporting_floor_batch(
+    raw_audiences: Sequence[float] | np.ndarray, floor: int
+) -> tuple[ReachEstimate, ...]:
+    """Vectorised :func:`apply_reporting_floor` over many raw audiences.
+
+    Rounding uses round-half-to-even (``np.rint``), matching Python's
+    built-in :func:`round` used by the scalar path, so a batched estimate is
+    identical to the looped scalar estimates.
+    """
+    if floor < 1:
+        raise AdsApiError("floor must be at least 1")
+    raw = np.asarray(raw_audiences, dtype=float)
+    if raw.size and np.isnan(raw).any():
+        raise AdsApiError("raw_audience must not be NaN")
+    if raw.size and (raw < 0).any():
+        raise AdsApiError("raw_audience must be non-negative")
+    rounded = np.rint(raw).astype(np.int64)
+    floored = rounded < floor
+    reported = np.where(floored, floor, rounded)
+    return tuple(
+        ReachEstimate(
+            potential_reach=int(value), floor=floor, floored=bool(is_floored)
+        )
+        for value, is_floored in zip(reported, floored)
+    )

@@ -4,14 +4,18 @@ from .attack import AttackAssessment, AttackPlan, AttackPlanner
 from .bootstrap import ConfidenceInterval, bootstrap_cutpoints, percentile_interval
 from .collection import AudienceSizeCollector
 from .demographics import DemographicAnalysis, GroupEstimate
-from .fitting import LogLogFit, fit_vas, truncate_at_floor
+from .fitting import LogLogFit, VASFitBatch, fit_vas, fit_vas_many, truncate_at_floor
 from .nanotargeting import (
     CampaignRecord,
     ExperimentReport,
     NanotargetingExperiment,
     SuccessValidation,
 )
-from .quantiles import AudienceSamples, probability_to_percentile
+from .quantiles import (
+    AudienceSamples,
+    masked_column_quantiles,
+    probability_to_percentile,
+)
 from .results import NPEstimate, UniquenessReport
 from .selection import (
     LeastPopularSelection,
@@ -41,8 +45,11 @@ __all__ = [
     "SuccessValidation",
     "UniquenessModel",
     "UniquenessReport",
+    "VASFitBatch",
     "bootstrap_cutpoints",
     "fit_vas",
+    "fit_vas_many",
+    "masked_column_quantiles",
     "nested_subsets",
     "percentile_interval",
     "probability_to_percentile",

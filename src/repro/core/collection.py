@@ -6,6 +6,14 @@ formed by the first ``N`` interests of the user's selection (least popular
 or random).  The collector reproduces that loop against the simulated API
 and arranges the results as the users x N matrix consumed by the quantile
 machinery.
+
+The default path issues **one batched prefix query per user** through
+:meth:`AdsManagerAPI.estimate_reach_batch`: the N prefix specs of a user
+form a prefix chain that the backend resolves with a single O(N) kernel
+call, and the resulting row is written with one array assignment.  The
+scalar loop is kept (``batch=False``) for benchmarking and parity testing;
+both paths produce bit-identical matrices and identical rate-limit /
+call-stats accounting.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..adsapi import AdsManagerAPI, TargetingSpec
-from ..errors import ModelError
+from ..errors import ModelError, PanelError
 from ..fdvt.panel import FDVTPanel
 from .quantiles import AudienceSamples
 from .selection import SelectionStrategy
@@ -50,12 +58,16 @@ class AudienceSizeCollector:
         """Largest number of interests combined per user."""
         return self._max_interests
 
-    def collect(self, strategy: SelectionStrategy) -> AudienceSamples:
+    def collect(
+        self, strategy: SelectionStrategy, *, batch: bool = True
+    ) -> AudienceSamples:
         """Collect the full audience-size matrix for one selection strategy.
 
         Rows correspond to panel users (in panel order) and column ``k``
         to combinations of ``k + 1`` interests; entries are ``NaN`` when the
-        user has fewer interests than the column requires.
+        user has fewer interests than the column requires.  ``batch=False``
+        falls back to one scalar API call per (user, N) cell — same results,
+        kept for benchmarking the batched path against it.
         """
         n_users = len(self._panel)
         matrix = np.full((n_users, self._max_interests), np.nan, dtype=float)
@@ -64,12 +76,27 @@ class AudienceSizeCollector:
         for row, user in enumerate(self._panel):
             user_ids.append(user.user_id)
             ordered = strategy.order_interests(user, catalog, self._max_interests)
-            for n_interests in range(1, min(len(ordered), self._max_interests) + 1):
-                spec = TargetingSpec.for_interests(
-                    ordered[:n_interests], locations=self._locations
-                )
-                estimate = self._api.estimate_reach(spec)
-                matrix[row, n_interests - 1] = float(estimate.potential_reach)
+            count = min(len(ordered), self._max_interests)
+            if count == 0:
+                continue
+            if batch:
+                specs = [
+                    TargetingSpec.for_interests(
+                        ordered[:n_interests], locations=self._locations
+                    )
+                    for n_interests in range(1, count + 1)
+                ]
+                estimates = self._api.estimate_reach_batch(specs)
+                matrix[row, :count] = [
+                    float(estimate.potential_reach) for estimate in estimates
+                ]
+            else:
+                for n_interests in range(1, count + 1):
+                    spec = TargetingSpec.for_interests(
+                        ordered[:n_interests], locations=self._locations
+                    )
+                    estimate = self._api.estimate_reach(spec)
+                    matrix[row, n_interests - 1] = float(estimate.potential_reach)
         return AudienceSamples(
             matrix=matrix,
             floor=self._api.platform.reach_floor,
@@ -79,9 +106,23 @@ class AudienceSizeCollector:
     def collect_for_users(
         self, strategy: SelectionStrategy, user_ids: Sequence[int]
     ) -> AudienceSamples:
-        """Collect the matrix for a subset of panel users (demographic groups)."""
-        wanted = set(int(uid) for uid in user_ids)
-        users = [user for user in self._panel if user.user_id in wanted]
+        """Collect the matrix for a subset of panel users (demographic groups).
+
+        Users are resolved through the panel's id index (no full-panel scan)
+        and rows follow the caller's requested order, with duplicate ids
+        collapsed to their first occurrence and unknown ids ignored.
+        """
+        users = []
+        seen: set[int] = set()
+        for user_id in user_ids:
+            user_id = int(user_id)
+            if user_id in seen:
+                continue
+            seen.add(user_id)
+            try:
+                users.append(self._panel.get(user_id))
+            except PanelError:
+                continue
         if not users:
             raise ModelError("no panel users match the requested ids")
         sub_panel = self._panel.subset(users)

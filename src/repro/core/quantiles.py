@@ -119,6 +119,52 @@ class AudienceSamples:
         return float(q_percent)
 
 
+def masked_column_quantiles(
+    stacked: np.ndarray, q_percents: Sequence[float]
+) -> np.ndarray:
+    """``nanpercentile(..., axis=1)`` over a 3-D replicate stack, vectorised.
+
+    ``stacked`` has shape ``(replicates, users, N)``; the result has shape
+    ``(len(q_percents), replicates, N)`` and is bit-identical to calling
+    :func:`numpy.nanpercentile` per replicate.  NumPy's nan-aware quantile
+    dispatches a Python call per (replicate, N) slice, which dominates the
+    bootstrap; this kernel instead sorts the whole stack once (NaNs sort to
+    the end), counts valid entries per column, and evaluates the same
+    linear-interpolation formula (including the ``gamma >= 0.5`` anti-
+    cancellation branch of NumPy's ``_lerp``) with pure array indexing.
+    """
+    values = np.asarray(stacked, dtype=float)
+    if values.ndim != 3:
+        raise ModelError("masked_column_quantiles expects a 3-D stack")
+    quantiles = np.asarray([float(q) for q in q_percents], dtype=float) / 100.0
+    ordered = np.sort(values, axis=1)  # NaNs land after every finite value
+    counts = (~np.isnan(ordered)).sum(axis=1)  # (replicates, N)
+    top = counts - 1  # index of the largest valid entry
+    gathered = np.moveaxis(ordered, 1, 2)  # (replicates, N, users)
+    results = np.empty((quantiles.size, values.shape[0], values.shape[2]))
+    for position, quantile in enumerate(quantiles):
+        virtual = quantile * top
+        previous = np.floor(virtual)
+        gamma = virtual - previous
+        low = previous.astype(np.int64)
+        high = low + 1
+        at_top = virtual >= top
+        low = np.where(at_top, top, low)
+        high = np.where(at_top, top, high)
+        safe_low = np.maximum(low, 0)
+        safe_high = np.maximum(high, 0)
+        lower = np.take_along_axis(gathered, safe_low[..., None], axis=2)[..., 0]
+        upper = np.take_along_axis(gathered, safe_high[..., None], axis=2)[..., 0]
+        difference = upper - lower
+        interpolated = np.where(
+            gamma >= 0.5,
+            upper - difference * (1.0 - gamma),
+            lower + difference * gamma,
+        )
+        results[position] = np.where(counts == 0, np.nan, interpolated)
+    return results
+
+
 def probability_to_percentile(probability: float) -> float:
     """Map a uniqueness probability ``P`` to the percentile used for VAS.
 

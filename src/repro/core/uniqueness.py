@@ -4,6 +4,14 @@
 from the Ads API, the quantile machinery, the log-log fit and the bootstrap
 confidence intervals, and produces the :class:`UniquenessReport` rows of
 Table 1 plus the VAS(Q) curves of Figures 3-5.
+
+Both heavy stages run on the batched kernels: :meth:`UniquenessModel.collect`
+issues one prefix-chain query per panel user through
+:meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_batch`, and
+:meth:`UniquenessModel.estimate` computes its confidence intervals with the
+vectorised :func:`~repro.core.bootstrap.bootstrap_cutpoints` — bit-identical
+to the scalar per-query / per-replicate paths, several times faster at
+paper scale (see ``benchmarks/bench_perf_hot_paths.py``).
 """
 
 from __future__ import annotations

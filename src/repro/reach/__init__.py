@@ -13,6 +13,7 @@ from .countries import (
     location_fraction,
     total_user_base,
 )
+from .jitter import combination_seed, lognormal_jitter, prefix_seeds
 from .model import StatisticalReachModel
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "FB_WORLDWIDE_MAU_2020",
     "ReachBackend",
     "StatisticalReachModel",
+    "combination_seed",
+    "lognormal_jitter",
+    "prefix_seeds",
     "TOP_50_COUNTRIES",
     "WORLDWIDE",
     "calibrate_correlation_alpha",

@@ -10,11 +10,20 @@ audience sizes itself; it delegates to any object implementing
 * :class:`repro.population.PopulationReachBackend` — exact counting over an
   agent-based scaled population, used for delivery simulations and for
   validating the analytic model's semantics.
+
+Besides the scalar :meth:`~ReachBackend.audience_for`, the protocol carries
+two batched entry points with loop-based default implementations, so any
+backend is automatically batch-capable.  Backends with a vectorised kernel
+(the statistical model) override them; callers get bit-identical results
+either way, which is what lets the Ads API expose a single batched estimate
+endpoint over heterogeneous backends.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 
 @runtime_checkable
@@ -48,3 +57,43 @@ class ReachBackend(Protocol):
     def world_size(self, locations: Sequence[str] | None = None) -> float:
         """Return the total user base for ``locations``."""
         ...  # pragma: no cover - protocol definition
+
+    def audience_for_batch(
+        self,
+        combinations: Sequence[Sequence[int]],
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+    ) -> np.ndarray:
+        """Audience sizes for many combinations at once.
+
+        Must return exactly ``[audience_for(c, ...) for c in combinations]``;
+        this default delegates to the scalar method, vectorised backends
+        override it with a faster kernel.
+        """
+        return np.asarray(
+            [
+                self.audience_for(combination, locations, combine=combine)
+                for combination in combinations
+            ],
+            dtype=float,
+        )
+
+    def prefix_audiences(
+        self,
+        ordered_ids: Sequence[int],
+        locations: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """AND-audiences of every prefix ``1..N`` of an ordered id list.
+
+        Must return exactly ``[audience_for(ordered_ids[:k], ...) for k in
+        1..N]``; vectorised backends override it with an incremental kernel.
+        """
+        ids = tuple(int(i) for i in ordered_ids)
+        return np.asarray(
+            [
+                self.audience_for(ids[: count + 1], locations)
+                for count in range(len(ids))
+            ],
+            dtype=float,
+        )

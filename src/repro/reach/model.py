@@ -25,6 +25,33 @@ different combinations of similar rarity spread realistically.
 The single parameter ``alpha`` reproduces both regimes of the paper: the
 least-popular selection becomes unique after ~4 interests and the random
 selection after ~22 (Table 1).
+
+Batch kernel design
+-------------------
+The paper-scale measurement queries, for every panel user, all ``1..N``
+prefixes of one ordered interest list — the hot path of the whole pipeline.
+Evaluating each prefix independently costs O(N) marginal lookups, one sort
+and one fresh jitter Generator per prefix, i.e. O(N^2) work per user.  The
+batched kernel (:meth:`StatisticalReachModel.prefix_audiences`) instead:
+
+* caches the catalog marginals and topic codes as id-indexed numpy arrays
+  (built once, looked up with a single ``searchsorted`` per query);
+* tracks the rarest-so-far interest with ``minimum.accumulate`` and turns
+  the conditional-retention product into cumulative log-sums, so all ``N``
+  prefix intersection probabilities come out of one O(N log N) pass;
+* draws the jitter from the counter-based construction in
+  :mod:`repro.reach.jitter` — one cumulative sum of per-id hashes instead
+  of ``N`` Generator constructions.
+
+Every prefix value depends only on the ids before it, so the scalar entry
+points (:meth:`audience_for`, :meth:`intersection_probability`) route
+through the same kernel and return bit-identical values to the batched
+path.  Repeated queries with the same id order are exactly identical;
+querying a *permutation* of the same set agrees to floating-point rounding
+(the cumulative log-sums accumulate in query order, so the last few ULPs
+can differ — only the jitter factor is exactly order-independent).  :meth:`audience_for_batch` additionally decomposes an arbitrary
+combination list into maximal prefix chains so that batched Ads-API queries
+over prefix families hit the O(N) kernel once per chain.
 """
 
 from __future__ import annotations
@@ -36,9 +63,18 @@ import numpy as np
 from .._rng import stable_hash
 from ..catalog import InterestCatalog
 from ..config import ReachModelConfig
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, UnknownInterestError
 from .backend import ReachBackend
 from .countries import location_fraction, total_user_base
+from .jitter import (
+    combination_seed,
+    jitter_key,
+    lognormal_jitter,
+    prefix_seeds,
+)
+
+#: Bound on the per-instance memoisation caches for scalar lookups.
+_SCALAR_CACHE_SIZE = 4096
 
 
 class StatisticalReachModel(ReachBackend):
@@ -59,6 +95,17 @@ class StatisticalReachModel(ReachBackend):
             self._world = float(world_population)
         if self._world <= 0:
             raise ConfigurationError("world_population must be positive")
+        self._jitter_key = jitter_key(
+            stable_hash(self._config.seed, "reach-jitter")
+        )
+        # Id-indexed catalog arrays, built lazily on first use.
+        self._sorted_ids: np.ndarray | None = None
+        self._marginal_array: np.ndarray | None = None
+        self._topic_codes: np.ndarray | None = None
+        # Bounded memo caches for repeated scalar queries (nanotargeting
+        # planner, countermeasure evaluation, FDVT risk reports).
+        self._marginal_cache: dict[int, float] = {}
+        self._jitter_cache: dict[tuple[int, ...], float] = {}
 
     # -- properties ---------------------------------------------------------
 
@@ -87,8 +134,15 @@ class StatisticalReachModel(ReachBackend):
 
     def marginal_probability(self, interest_id: int) -> float:
         """Fraction of the world base holding ``interest_id``."""
-        audience = self._catalog.audience_size(interest_id)
-        return min(1.0, audience / self._world)
+        key = int(interest_id)
+        cached = self._marginal_cache.get(key)
+        if cached is None:
+            position = self._positions(np.asarray([key], dtype=np.int64))[0]
+            cached = float(self._marginal_array[position])
+            if len(self._marginal_cache) >= _SCALAR_CACHE_SIZE:
+                self._marginal_cache.pop(next(iter(self._marginal_cache)))
+            self._marginal_cache[key] = cached
+        return cached
 
     def marginal_audience(
         self, interest_id: int, locations: Sequence[str] | None = None
@@ -100,32 +154,37 @@ class StatisticalReachModel(ReachBackend):
 
     def intersection_probability(self, interest_ids: Sequence[int]) -> float:
         """Fraction of users holding *all* interests in ``interest_ids``."""
-        ids = [int(i) for i in interest_ids]
-        if not ids:
+        ids = np.asarray([int(i) for i in interest_ids], dtype=np.int64)
+        if ids.size == 0:
             return 1.0
-        probs = np.array([self.marginal_probability(i) for i in ids], dtype=float)
-        topics = [self._catalog.get(i).topic for i in ids]
-        order = np.argsort(probs, kind="stable")
-        sorted_probs = probs[order]
-        sorted_topics = [topics[int(i)] for i in order]
-        rarest_topic = sorted_topics[0]
-        probability = float(sorted_probs[0])
-        alpha = self._config.correlation_alpha
-        boost = 1.0 + self._config.topic_affinity_boost
-        for k in range(1, len(ids)):
-            retention = sorted_probs[k] ** alpha
-            if sorted_topics[k] == rarest_topic:
-                retention *= boost
-            probability *= min(1.0, retention)
-        return min(probability, float(sorted_probs[0]))
+        return float(self.prefix_intersection_probabilities(ids)[-1])
+
+    def prefix_intersection_probabilities(
+        self, ordered_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Intersection probability of every prefix ``1..N`` of an id list.
+
+        ``result[k - 1]`` equals ``intersection_probability(ordered_ids[:k])``
+        bit-for-bit; the whole vector is computed in a single vectorised
+        cumulative pass (O(N log N) instead of O(N^2)).
+        """
+        ids = np.asarray([int(i) for i in ordered_ids], dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=float)
+        positions = self._positions(ids)
+        probs = self._marginal_array[positions]
+        topics = self._topic_codes[positions]
+        return self._prefix_probabilities(probs, topics)
 
     def union_probability(self, interest_ids: Sequence[int]) -> float:
         """Fraction of users holding *at least one* interest in the set."""
-        ids = [int(i) for i in interest_ids]
-        if not ids:
+        ids = np.asarray([int(i) for i in interest_ids], dtype=np.int64)
+        if ids.size == 0:
             return 0.0
-        probs = np.array([self.marginal_probability(i) for i in ids], dtype=float)
-        return float(1.0 - np.prod(1.0 - probs))
+        probs = self._marginal_array[self._positions(ids)]
+        # cumprod keeps the reduction order identical for any padded batch
+        # evaluation of the same combination.
+        return float(1.0 - np.cumprod(1.0 - probs)[-1])
 
     def audience_for(
         self,
@@ -144,19 +203,163 @@ class StatisticalReachModel(ReachBackend):
         if not ids:
             return base
         if combine == "and":
-            probability = self.intersection_probability(ids)
-        elif combine == "or":
+            # Shared prefix kernel: the full-set audience is the last prefix.
+            return float(self.prefix_audiences(ids, locations)[-1])
+        if combine == "or":
             probability = self.union_probability(ids)
-        else:
-            raise ConfigurationError(f"unknown combine mode: {combine!r}")
-        audience = base * probability * self._jitter(ids)
+            audience = base * probability * self._jitter(ids)
+            return max(audience, 0.0)
+        raise ConfigurationError(f"unknown combine mode: {combine!r}")
+
+    def prefix_audiences(
+        self,
+        ordered_ids: Sequence[int],
+        locations: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Audience sizes of every prefix ``1..N`` of an ordered id list.
+
+        This is the batched counterpart of calling :meth:`audience_for` on
+        each prefix (AND semantics) and returns bit-identical values, one
+        vectorised pass instead of N scalar queries.
+        """
+        ids = np.asarray([int(i) for i in ordered_ids], dtype=np.int64)
+        base = self.world_size(locations)
+        if ids.size == 0:
+            return np.empty(0, dtype=float)
+        positions = self._positions(ids)
+        probs = self._marginal_array[positions]
+        topics = self._topic_codes[positions]
+        intersections = self._prefix_probabilities(probs, topics)
+        jitters = lognormal_jitter(
+            prefix_seeds(ids, self._jitter_key), self._config.jitter_log10_sigma
+        )
+        audiences = base * intersections * jitters
         # The jitter never pushes an AND-audience above its rarest marginal.
-        if combine == "and":
-            rarest = min(self.marginal_audience(i, locations) for i in ids)
-            audience = min(audience, rarest)
-        return max(audience, 0.0)
+        rarest = base * np.minimum.accumulate(probs)
+        return np.maximum(np.minimum(audiences, rarest), 0.0)
+
+    def audience_for_batch(
+        self,
+        combinations: Sequence[Sequence[int]],
+        locations: Sequence[str] | None = None,
+        *,
+        combine: str = "and",
+    ) -> np.ndarray:
+        """Audience sizes for many combinations in one call.
+
+        Equivalent to looping :meth:`audience_for` (bit-identical results).
+        Consecutive AND-combinations that extend each other by one interest
+        — the prefix families issued by the audience-size collector — are
+        detected and served by a single :meth:`prefix_audiences` kernel call
+        per chain, turning the O(N^2) per-user query loop into O(N).
+        """
+        combos = [tuple(int(i) for i in combination) for combination in combinations]
+        results = np.empty(len(combos), dtype=float)
+        if not combos:
+            return results
+        base = self.world_size(locations)
+        if combine == "or":
+            for index, combo in enumerate(combos):
+                results[index] = self.audience_for(combo, locations, combine="or")
+            return results
+        if combine != "and":
+            raise ConfigurationError(f"unknown combine mode: {combine!r}")
+        start = 0
+        while start < len(combos):
+            # Grow the maximal prefix chain starting at ``start``.
+            end = start + 1
+            previous = combos[start]
+            while end < len(combos):
+                candidate = combos[end]
+                if (
+                    len(candidate) == len(previous) + 1
+                    and candidate[: len(previous)] == previous
+                ):
+                    previous = candidate
+                    end += 1
+                else:
+                    break
+            longest = combos[end - 1]
+            if longest:
+                values = self.prefix_audiences(longest, locations)
+            else:
+                values = np.empty(0, dtype=float)
+            for index in range(start, end):
+                length = len(combos[index])
+                results[index] = base if length == 0 else values[length - 1]
+            start = end
+        return results
 
     # -- internals ------------------------------------------------------------
+
+    def _ensure_catalog_arrays(self) -> None:
+        if self._sorted_ids is not None:
+            return
+        self._sorted_ids = self._catalog.interest_ids
+        audiences = self._catalog.all_audience_sizes().astype(float)
+        self._marginal_array = np.minimum(1.0, audiences / self._world)
+        codes: dict[str, int] = {}
+        topic_codes = np.empty(len(self._sorted_ids), dtype=np.int64)
+        # Catalog iteration yields interests in ascending id order, matching
+        # the sorted id / audience arrays.
+        for index, interest in enumerate(self._catalog):
+            topic_codes[index] = codes.setdefault(interest.topic, len(codes))
+        self._topic_codes = topic_codes
+
+    def _positions(self, ids: np.ndarray) -> np.ndarray:
+        """Positions of ``ids`` in the id-indexed catalog arrays."""
+        self._ensure_catalog_arrays()
+        positions = np.searchsorted(self._sorted_ids, ids)
+        positions = np.minimum(positions, len(self._sorted_ids) - 1)
+        mismatched = self._sorted_ids[positions] != ids
+        if mismatched.any():
+            raise UnknownInterestError(int(ids[np.argmax(mismatched)]))
+        return positions
+
+    def _prefix_probabilities(
+        self, probs: np.ndarray, topics: np.ndarray
+    ) -> np.ndarray:
+        """Conditional-retention intersection probability of every prefix.
+
+        All operations are prefix-local (cumulative minima, sums and per-
+        topic cumulative sums), so ``result[:k]`` of a truncated call is
+        bit-identical to the first ``k`` entries of the full call — the
+        property that lets scalar queries share this kernel.
+        """
+        n = probs.size
+        alpha = self._config.correlation_alpha
+        boost = 1.0 + self._config.topic_affinity_boost
+        with np.errstate(all="ignore"):
+            cumulative_min = np.minimum.accumulate(probs)
+            previous_min = np.concatenate(([np.inf], cumulative_min[:-1]))
+            new_min = probs < previous_min
+            # Index of the rarest interest within each prefix (first winner
+            # on ties, matching a stable sort by probability).
+            rarest_index = np.maximum.accumulate(
+                np.where(new_min, np.arange(n), 0)
+            )
+            retention = probs**alpha
+            plain = np.minimum(1.0, retention)
+            boosted = np.minimum(1.0, retention * boost)
+            log_plain = np.log(plain)
+            log_boost_delta = np.log(boosted) - log_plain
+            total_log = np.cumsum(log_plain)
+            # Per-topic cumulative boost corrections; only the column of the
+            # prefix's rarest topic is consumed per row.
+            codes, inverse = np.unique(topics, return_inverse=True)
+            one_hot = inverse[:, None] == np.arange(codes.size)[None, :]
+            topic_cumulative = np.cumsum(
+                np.where(one_hot, log_boost_delta[:, None], 0.0), axis=0
+            )
+            rows = np.arange(n)
+            rarest_topic = inverse[rarest_index]
+            same_topic = topic_cumulative[rows, rarest_topic]
+            log_probability = (
+                np.log(probs[rarest_index])
+                + (total_log - log_plain[rarest_index])
+                + (same_topic - log_boost_delta[rarest_index])
+            )
+            return np.minimum(np.exp(log_probability), probs[rarest_index])
 
     def _jitter(self, interest_ids: tuple[int, ...]) -> float:
         """Deterministic log-normal jitter keyed on the interest combination.
@@ -164,11 +367,21 @@ class StatisticalReachModel(ReachBackend):
         The jitter is intentionally independent of the location filter and of
         the AND/OR mode, so that the model's monotonicity invariants (adding
         a location never shrinks an audience, narrowing never grows it) hold
-        exactly and not just in expectation.
+        exactly and not just in expectation.  The value comes from the shared
+        counter-based kernel in :mod:`repro.reach.jitter`, so a scalar query
+        and the matching element of a batched prefix query agree bitwise.
         """
         sigma = self._config.jitter_log10_sigma
         if sigma <= 0:
             return 1.0
-        seed = stable_hash(self._config.seed, tuple(sorted(interest_ids)))
-        rng = np.random.default_rng(seed % (2**63))
-        return float(10.0 ** rng.normal(0.0, sigma))
+        key = tuple(sorted(interest_ids))
+        cached = self._jitter_cache.get(key)
+        if cached is None:
+            seed = combination_seed(
+                np.asarray(key, dtype=np.int64), self._jitter_key
+            )
+            cached = float(lognormal_jitter(np.asarray([seed]), sigma)[0])
+            if len(self._jitter_cache) >= _SCALAR_CACHE_SIZE:
+                self._jitter_cache.pop(next(iter(self._jitter_cache)))
+            self._jitter_cache[key] = cached
+        return cached
