@@ -3,15 +3,18 @@
 
 Unlike the ``bench_fig*`` / ``bench_table*`` modules (pytest-benchmark
 harness reproducing the paper's figures), this is a plain script that times
-the three hot paths industrialised by the batched pipeline —
+the hot paths industrialised by the batched pipeline —
 
-* audience-size **collection** (one batched prefix query per user vs the
-  scalar per-(user, N) loop),
+* audience-size **collection** at its three tiers (the panel-scale fused
+  kernel: one vectorised ordering pass + one ``estimate_reach_matrix``
+  call; the per-user batched prefix query; the scalar per-(user, N) loop),
+* the **FDVT risk reports** (deduped bulk query vs one scalar query per
+  (user, interest) occurrence),
 * **estimation** (quantiles + log-log fits + confidence intervals),
 * the **bootstrap** (vectorised resampling + ``fit_vas_many`` vs the
   per-replicate Python loop),
 
-— verifies that both paths agree bit-for-bit, and appends the timings to a
+— verifies that the tiers agree bit-for-bit, and appends the timings to a
 ``BENCH_perf.json`` trajectory file so future PRs can track the speedup.
 
 Usage::
@@ -42,6 +45,7 @@ from repro.core import (
 )
 from repro.core.fitting import fit_vas
 from repro.errors import ModelError
+from repro.fdvt import FDVTExtension
 from repro.reach import country_codes
 from repro.simclock import SimClock
 
@@ -50,6 +54,10 @@ BENCH_SCALE_FACTOR = 8
 QUICK_SCALE_FACTOR = 50
 
 QUANTILES = (50.0, 90.0, 95.0)
+
+#: Users covered by the risk-report stage (the scalar reference issues one
+#: API call per (user, interest) occurrence, so the stage runs on a slice).
+RISK_REPORT_USERS = 30
 
 
 def _timed(label: str, fn):
@@ -102,30 +110,50 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
     )
 
     print("collection (users x 25 prefix audiences):")
+    panel_collect_s, panel_samples = _timed(
+        "panel (one fused matrix query)",
+        lambda: fresh_collector().collect(strategy, mode="panel"),
+    )
     batch_collect_s, batch_samples = _timed(
         "batched (one prefix query per user)",
-        lambda: fresh_collector().collect(strategy),
+        lambda: fresh_collector().collect(strategy, mode="batch"),
     )
     scalar_collect_s, scalar_samples = _timed(
         "scalar (one API call per cell)",
-        lambda: fresh_collector().collect(strategy, batch=False),
+        lambda: fresh_collector().collect(strategy, mode="scalar"),
     )
     collection_identical = bool(
         np.array_equal(batch_samples.matrix, scalar_samples.matrix, equal_nan=True)
+        and np.array_equal(panel_samples.matrix, batch_samples.matrix, equal_nan=True)
     )
     print(f"  matrices bit-identical: {collection_identical}")
+
+    print(f"FDVT risk reports ({RISK_REPORT_USERS} users, deduped interests):")
+    risk_users = list(simulation.panel)[:RISK_REPORT_USERS]
+    batched_extension = FDVTExtension(fresh_api(), simulation.catalog)
+    risk_batch_s, batched_reports = _timed(
+        "batched (one query per unique interest)",
+        lambda: batched_extension.build_risk_reports(risk_users),
+    )
+    scalar_extension = FDVTExtension(fresh_api(), simulation.catalog)
+    risk_scalar_s, scalar_reports = _timed(
+        "scalar (one query per occurrence)",
+        lambda: [scalar_extension.build_risk_report(user) for user in risk_users],
+    )
+    risk_identical = list(batched_reports) == list(scalar_reports)
+    print(f"  reports identical: {risk_identical}")
 
     print("bootstrap cutpoints:")
     vector_bootstrap_s, vector_cutpoints = _timed(
         "vectorised (fit_vas_many, chunked)",
         lambda: bootstrap_cutpoints(
-            batch_samples, QUANTILES, n_bootstrap=n_bootstrap, seed=7
+            panel_samples, QUANTILES, n_bootstrap=n_bootstrap, seed=7
         ),
     )
     scalar_bootstrap_s, scalar_cutpoints = _timed(
         "scalar reference (per-replicate loop)",
         lambda: _scalar_bootstrap_reference(
-            batch_samples, QUANTILES, n_bootstrap, seed=7
+            panel_samples, QUANTILES, n_bootstrap, seed=7
         ),
     )
     bootstrap_identical = all(
@@ -143,15 +171,22 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
     )
     estimate_s, report = _timed(
         "UniquenessModel.estimate",
-        lambda: model.estimate(strategy, samples=batch_samples),
+        lambda: model.estimate(strategy, samples=panel_samples),
     )
 
-    batched_total = batch_collect_s + vector_bootstrap_s
+    batched_total = panel_collect_s + vector_bootstrap_s
     scalar_total = scalar_collect_s + scalar_bootstrap_s
     speedup = scalar_total / batched_total if batched_total > 0 else float("inf")
     print(
-        f"collect+bootstrap: scalar {scalar_total:.3f}s vs batched "
+        f"collect+bootstrap: scalar {scalar_total:.3f}s vs panel "
         f"{batched_total:.3f}s -> {speedup:.1f}x speedup"
+    )
+    panel_vs_batch = (
+        batch_collect_s / panel_collect_s if panel_collect_s > 0 else float("inf")
+    )
+    print(
+        f"collect panel vs per-user batch: {panel_vs_batch:.1f}x "
+        f"({batch_collect_s * 1000.0:.0f} ms -> {panel_collect_s * 1000.0:.0f} ms)"
     )
 
     return {
@@ -160,20 +195,27 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
         "n_interests_catalog": len(simulation.catalog),
         "max_interests": 25,
         "n_bootstrap": n_bootstrap,
+        "n_risk_report_users": len(risk_users),
         "timings_seconds": {
+            "collect_panel": panel_collect_s,
             "collect_batched": batch_collect_s,
             "collect_scalar": scalar_collect_s,
+            "risk_reports_batched": risk_batch_s,
+            "risk_reports_scalar": risk_scalar_s,
             "bootstrap_vectorised": vector_bootstrap_s,
             "bootstrap_scalar_reference": scalar_bootstrap_s,
             "estimate": estimate_s,
         },
         "speedups": {
-            "collect": scalar_collect_s / batch_collect_s,
+            "collect": scalar_collect_s / panel_collect_s,
+            "collect_panel_vs_batched": panel_vs_batch,
+            "risk_reports": risk_scalar_s / risk_batch_s,
             "bootstrap": scalar_bootstrap_s / vector_bootstrap_s,
             "collect_plus_bootstrap": speedup,
         },
         "parity": {
             "collection_bit_identical": collection_identical,
+            "risk_reports_identical": risk_identical,
             "bootstrap_bit_identical": bootstrap_identical,
         },
         "sample_cutpoints": {
@@ -206,6 +248,13 @@ def main() -> int:
         default=None,
         help="exit non-zero unless collect+bootstrap speedup reaches this",
     )
+    parser.add_argument(
+        "--min-panel-gain",
+        type=float,
+        default=None,
+        help="exit non-zero unless the panel tier beats the per-user batch "
+        "tier by this factor on the collect stage",
+    )
     args = parser.parse_args()
 
     factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
@@ -227,12 +276,24 @@ def main() -> int:
     args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    failed = False
     if args.min_speedup is not None:
         achieved = record["speedups"]["collect_plus_bootstrap"]
         if achieved < args.min_speedup:
             print(f"FAIL: speedup {achieved:.1f}x < required {args.min_speedup:.1f}x")
-            return 1
-    return 0
+            failed = True
+    if args.min_panel_gain is not None:
+        achieved = record["speedups"]["collect_panel_vs_batched"]
+        if achieved < args.min_panel_gain:
+            print(
+                f"FAIL: panel-vs-batched gain {achieved:.1f}x < required "
+                f"{args.min_panel_gain:.1f}x"
+            )
+            failed = True
+    if not all(record["parity"].values()):
+        print(f"FAIL: parity check failed: {record['parity']}")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

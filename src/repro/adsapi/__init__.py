@@ -9,6 +9,7 @@ from .reachestimate import (
     ReachEstimate,
     apply_reporting_floor,
     apply_reporting_floor_batch,
+    apply_reporting_floor_matrix,
 )
 from .targeting import TargetingSpec
 from .validation import validate_spec
@@ -29,6 +30,7 @@ __all__ = [
     "TokenBucket",
     "apply_reporting_floor",
     "apply_reporting_floor_batch",
+    "apply_reporting_floor_matrix",
     "hash_pii",
     "validate_spec",
 ]

@@ -21,7 +21,11 @@ from typing import Sequence
 import numpy as np
 
 from ..config import PlatformConfig
-from ..errors import CampaignRejectedError, RateLimitExceededError
+from ..errors import (
+    CampaignRejectedError,
+    RateLimitExceededError,
+    TargetingValidationError,
+)
 from ..reach.backend import ReachBackend
 from ..simclock import SimClock
 from .account import AdAccount
@@ -32,6 +36,7 @@ from .reachestimate import (
     ReachEstimate,
     apply_reporting_floor,
     apply_reporting_floor_batch,
+    apply_reporting_floor_matrix,
 )
 from .targeting import TargetingSpec
 from .validation import validate_spec
@@ -186,6 +191,88 @@ class AdsManagerAPI:
         self._counters.reach_estimates += len(specs)
         return apply_reporting_floor_batch(raw, self._platform.reach_floor)
 
+    def estimate_reach_matrix(
+        self,
+        id_matrix: np.ndarray,
+        counts: Sequence[int] | np.ndarray,
+        *,
+        locations: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Potential Reach for a whole panel of prefix families in one call.
+
+        The spec-free bulk endpoint behind panel-scale collection: row ``u``
+        of ``id_matrix`` holds the first ``counts[u]`` ordered interest ids
+        of one user (padding beyond that is ignored), and cell ``(u, k)`` of
+        the returned float matrix is the Potential Reach the dashboard would
+        display for the audience of ``id_matrix[u, :k + 1]`` — bit-identical
+        to the value :meth:`estimate_reach_batch` / :meth:`estimate_reach`
+        report for the corresponding :class:`TargetingSpec`, with ``NaN``
+        beyond ``counts[u]``.  No ``TargetingSpec`` or
+        :class:`ReachEstimate` objects are materialised; validation
+        (interest cap, non-negative dup-free rows, one shared location
+        list), reporting-floor clipping and rate-limit accounting all run
+        vectorised over the matrix.
+
+        Every cell consumes one rate-limit token, exactly like the
+        per-spec paths, and increments ``call_stats().reach_estimates``.
+        Tokens the bucket cannot cover immediately are paid with a single
+        consolidated clock fast-forward (the sum of the per-request waits
+        the scalar loop would have made); each such waited cell increments
+        the ``rate_limited`` counter.  With ``auto_wait=False`` the call
+        raises :class:`RateLimitExceededError` after consuming the
+        immediately available tokens — one recorded rate-limit event, like
+        an aborted scalar burst — and no estimates are returned or counted.
+        """
+        ids = np.asarray(id_matrix, dtype=np.int64)
+        if ids.ndim != 2:
+            raise TargetingValidationError(
+                "id_matrix must be a 2D (n_users, width) matrix"
+            )
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (ids.shape[0],):
+            raise TargetingValidationError(
+                "counts must hold one entry per id_matrix row"
+            )
+        if counts.size and (int(counts.min()) < 0 or int(counts.max()) > ids.shape[1]):
+            raise TargetingValidationError("counts must lie in [0, id_matrix width]")
+        self._account.ensure_active()
+        # One location list is shared by the whole matrix: validate it once
+        # through the standard spec checks instead of once per cell, and
+        # resolve it exactly like the per-spec paths (empty/worldwide
+        # location lists reach the backend as None).
+        probe = TargetingSpec.for_interests((), locations=locations)
+        validate_spec(probe, self._platform)
+        locations = probe.effective_locations()
+        if counts.size and int(counts.max()) > self._platform.max_interests_per_audience:
+            raise TargetingValidationError(
+                f"at most {self._platform.max_interests_per_audience} interests are "
+                f"allowed in an audience, got {int(counts.max())}"
+            )
+        valid = np.arange(ids.shape[1])[None, :] < counts[:, None]
+        work = np.where(valid, ids, -1)
+        if (work[valid] < 0).any():
+            raise TargetingValidationError("interest ids must be non-negative")
+        # Duplicate ids inside a row prefix would make the prefix family
+        # ill-formed; padding (-1) compares equal only to itself.
+        sorted_rows = np.sort(work, axis=1)
+        if ((sorted_rows[:, 1:] == sorted_rows[:, :-1]) & (sorted_rows[:, 1:] >= 0)).any():
+            raise TargetingValidationError("interests must not contain duplicates")
+        total = int(counts.sum())
+        self._throttle_bulk(total)
+        panel_kernel = getattr(self._backend, "prefix_audiences_panel", None)
+        if panel_kernel is not None:
+            raw = panel_kernel(ids, counts, locations)
+        else:
+            raw = np.full(ids.shape, np.nan, dtype=float)
+            for row in range(ids.shape[0]):
+                count = int(counts[row])
+                if count:
+                    raw[row, :count] = self._backend.prefix_audiences(
+                        ids[row, :count], locations
+                    )
+        self._counters.reach_estimates += total
+        return apply_reporting_floor_matrix(raw, self._platform.reach_floor)
+
     def audience_warnings(self, spec: TargetingSpec) -> tuple[PolicyWarning, ...]:
         """Warnings the campaign manager would display for ``spec``."""
         validate_spec(spec, self._platform)
@@ -270,3 +357,32 @@ class AdsManagerAPI:
         # small margin absorbs floating-point rounding in the refill math.
         self._clock.advance(self._bucket.seconds_until_available() + 1e-6)
         self._bucket.acquire()
+
+    def _throttle_bulk(self, n_requests: int) -> None:
+        """Consume ``n_requests`` rate-limit tokens in one accounting step.
+
+        Equivalent to ``n_requests`` sequential :meth:`_throttle` calls, but
+        with a single bucket drain and a single consolidated clock
+        fast-forward for the tokens the bucket cannot cover immediately —
+        the ``rate_limited`` counter still counts one event per request that
+        had to wait, matching the scalar loop.
+        """
+        if n_requests <= 0:
+            return
+        shortfall = self._bucket.consume_bulk(float(n_requests))
+        if shortfall <= 0:
+            return
+        if not self._auto_wait:
+            # The scalar loop aborts on its first failed acquire, having
+            # recorded exactly one rate-limit event.
+            self._counters.rate_limited += 1
+            raise RateLimitExceededError(self._bucket.seconds_until_available())
+        waited = int(np.ceil(shortfall - 1e-9))
+        self._counters.rate_limited += waited
+        self._clock.advance(
+            self._bucket.seconds_until_available(shortfall) + 1e-6 * waited
+        )
+        # The wait refilled (at most a burst of) tokens that the waited
+        # requests immediately spend; the bucket ends empty, like after a
+        # drained scalar burst.
+        self._bucket.drain()

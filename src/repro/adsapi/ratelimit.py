@@ -54,6 +54,30 @@ class TokenBucket:
         if not self.try_acquire(tokens):
             raise RateLimitExceededError(self.seconds_until_available(tokens))
 
+    def consume_bulk(self, tokens: float) -> float:
+        """Consume up to ``tokens`` immediately and return the shortfall.
+
+        Unlike :meth:`try_acquire`, a partial consumption is allowed: the
+        bucket is drained of ``min(tokens, available)`` and the caller
+        learns how many tokens it still owes.  This is the accounting
+        primitive of the bulk reach-matrix endpoint, which pays for a whole
+        panel of queries in one go instead of one :meth:`try_acquire` per
+        cell.
+        """
+        if tokens <= 0:
+            raise ConfigurationError("tokens must be positive")
+        self._refill()
+        consumed = min(self._tokens, tokens)
+        self._tokens -= consumed
+        return tokens - consumed
+
+    def drain(self) -> float:
+        """Empty the bucket (after refilling to now) and return the amount."""
+        self._refill()
+        drained = self._tokens
+        self._tokens = 0.0
+        return drained
+
     def seconds_until_available(self, tokens: float = 1.0) -> float:
         """Simulated seconds until ``tokens`` would be available."""
         self._refill()

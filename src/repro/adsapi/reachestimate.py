@@ -77,3 +77,23 @@ def apply_reporting_floor_batch(
         )
         for value, is_floored in zip(reported, floored)
     )
+
+
+def apply_reporting_floor_matrix(raw_matrix: np.ndarray, floor: int) -> np.ndarray:
+    """Round and floor-clip a whole raw audience matrix in place-free form.
+
+    The matrix counterpart of :func:`apply_reporting_floor_batch` for the
+    spec-free bulk endpoint: ``NaN`` cells (padding beyond a user's interest
+    count) pass through untouched, every other cell is rounded with
+    round-half-to-even and clipped to the reporting floor, so a valid cell
+    equals ``float(apply_reporting_floor(raw, floor).potential_reach)``
+    bit-for-bit.  No :class:`ReachEstimate` objects are materialised.
+    """
+    if floor < 1:
+        raise AdsApiError("floor must be at least 1")
+    raw = np.asarray(raw_matrix, dtype=float)
+    valid = ~np.isnan(raw)
+    if (raw[valid] < 0).any():
+        raise AdsApiError("raw_audience must be non-negative")
+    reported = np.where(valid, np.maximum(np.rint(raw), float(floor)), raw)
+    return reported

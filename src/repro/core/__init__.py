@@ -2,7 +2,7 @@
 
 from .attack import AttackAssessment, AttackPlan, AttackPlanner
 from .bootstrap import ConfidenceInterval, bootstrap_cutpoints, percentile_interval
-from .collection import AudienceSizeCollector
+from .collection import COLLECT_MODES, AudienceSizeCollector
 from .demographics import DemographicAnalysis, GroupEstimate
 from .fitting import LogLogFit, VASFitBatch, fit_vas, fit_vas_many, truncate_at_floor
 from .nanotargeting import (
@@ -22,6 +22,7 @@ from .selection import (
     RandomSelection,
     SelectionStrategy,
     nested_subsets,
+    ordered_interest_matrix,
 )
 from .uniqueness import UniquenessModel
 
@@ -31,6 +32,7 @@ __all__ = [
     "AttackPlanner",
     "AudienceSamples",
     "AudienceSizeCollector",
+    "COLLECT_MODES",
     "CampaignRecord",
     "ConfidenceInterval",
     "DemographicAnalysis",
@@ -51,6 +53,7 @@ __all__ = [
     "fit_vas_many",
     "masked_column_quantiles",
     "nested_subsets",
+    "ordered_interest_matrix",
     "percentile_interval",
     "probability_to_percentile",
     "truncate_at_floor",

@@ -7,13 +7,23 @@ or random).  The collector reproduces that loop against the simulated API
 and arranges the results as the users x N matrix consumed by the quantile
 machinery.
 
-The default path issues **one batched prefix query per user** through
-:meth:`AdsManagerAPI.estimate_reach_batch`: the N prefix specs of a user
-form a prefix chain that the backend resolves with a single O(N) kernel
-call, and the resulting row is written with one array assignment.  The
-scalar loop is kept (``batch=False``) for benchmarking and parity testing;
-both paths produce bit-identical matrices and identical rate-limit /
-call-stats accounting.
+Three entry points produce bit-identical matrices and tiers of throughput:
+
+* ``mode="panel"`` (the default, and the supported bulk path) resolves the
+  whole panel's strategy ordering into one padded id matrix
+  (:func:`~repro.core.selection.ordered_interest_matrix`) and issues a
+  single spec-free :meth:`AdsManagerAPI.estimate_reach_matrix` call — the
+  users × N measurement becomes a handful of array sweeps with no per-user
+  Python round-trip;
+* ``mode="batch"`` (the per-user tier, kept for parity benchmarking) issues
+  one batched prefix-chain query per user through
+  :meth:`AdsManagerAPI.estimate_reach_batch`;
+* ``mode="scalar"`` (the reference tier) loops one API call per (user, N)
+  cell.
+
+Rate-limit / call-stats accounting sees one request per (user, N) cell on
+every tier; the panel tier settles the whole bill in one vectorised
+accounting step.
 """
 
 from __future__ import annotations
@@ -26,7 +36,10 @@ from ..adsapi import AdsManagerAPI, TargetingSpec
 from ..errors import ModelError, PanelError
 from ..fdvt.panel import FDVTPanel
 from .quantiles import AudienceSamples
-from .selection import SelectionStrategy
+from .selection import SelectionStrategy, ordered_interest_matrix
+
+#: Collection tiers, fastest first.
+COLLECT_MODES = ("panel", "batch", "scalar")
 
 
 class AudienceSizeCollector:
@@ -59,52 +72,79 @@ class AudienceSizeCollector:
         return self._max_interests
 
     def collect(
-        self, strategy: SelectionStrategy, *, batch: bool = True
+        self,
+        strategy: SelectionStrategy,
+        *,
+        mode: str | None = None,
+        batch: bool | None = None,
     ) -> AudienceSamples:
         """Collect the full audience-size matrix for one selection strategy.
 
         Rows correspond to panel users (in panel order) and column ``k``
         to combinations of ``k + 1`` interests; entries are ``NaN`` when the
-        user has fewer interests than the column requires.  ``batch=False``
-        falls back to one scalar API call per (user, N) cell — same results,
-        kept for benchmarking the batched path against it.
+        user has fewer interests than the column requires.  ``mode`` picks
+        the collection tier (``"panel"`` by default — see the module
+        docstring); all tiers return bit-identical matrices.  The legacy
+        ``batch`` flag maps ``True``/``False`` to the per-user batch and
+        scalar tiers.
         """
+        if batch is not None:
+            if mode is not None:
+                raise ModelError("pass either mode or the legacy batch flag, not both")
+            mode = "batch" if batch else "scalar"
+        mode = mode or "panel"
+        if mode not in COLLECT_MODES:
+            raise ModelError(f"unknown collection mode: {mode!r}")
         n_users = len(self._panel)
         matrix = np.full((n_users, self._max_interests), np.nan, dtype=float)
-        user_ids = []
-        catalog = self._panel.catalog
-        for row, user in enumerate(self._panel):
-            user_ids.append(user.user_id)
-            ordered = strategy.order_interests(user, catalog, self._max_interests)
-            count = min(len(ordered), self._max_interests)
-            if count == 0:
-                continue
-            if batch:
-                specs = [
-                    TargetingSpec.for_interests(
-                        ordered[:n_interests], locations=self._locations
+        user_ids = tuple(user.user_id for user in self._panel)
+        if mode == "panel":
+            id_matrix, counts = ordered_interest_matrix(
+                strategy, self._panel.users, self._panel.catalog, self._max_interests
+            )
+            if id_matrix.shape[1]:
+                values = self._api.estimate_reach_matrix(
+                    id_matrix, counts, locations=self._locations
+                )
+                matrix[:, : values.shape[1]] = values
+        else:
+            catalog = self._panel.catalog
+            for row, user in enumerate(self._panel):
+                ordered = strategy.order_interests(user, catalog, self._max_interests)
+                count = min(len(ordered), self._max_interests)
+                if count == 0:
+                    continue
+                if mode == "batch":
+                    # The chain constructor validates the longest spec once;
+                    # its prefixes are valid by construction.
+                    specs = TargetingSpec.prefix_chain(
+                        ordered[:count], locations=self._locations
                     )
-                    for n_interests in range(1, count + 1)
-                ]
-                estimates = self._api.estimate_reach_batch(specs)
-                matrix[row, :count] = [
-                    float(estimate.potential_reach) for estimate in estimates
-                ]
-            else:
-                for n_interests in range(1, count + 1):
-                    spec = TargetingSpec.for_interests(
-                        ordered[:n_interests], locations=self._locations
+                    estimates = self._api.estimate_reach_batch(specs)
+                    matrix[row, :count] = np.fromiter(
+                        (estimate.potential_reach for estimate in estimates),
+                        dtype=float,
+                        count=count,
                     )
-                    estimate = self._api.estimate_reach(spec)
-                    matrix[row, n_interests - 1] = float(estimate.potential_reach)
+                else:
+                    for n_interests in range(1, count + 1):
+                        spec = TargetingSpec.for_interests(
+                            ordered[:n_interests], locations=self._locations
+                        )
+                        estimate = self._api.estimate_reach(spec)
+                        matrix[row, n_interests - 1] = float(estimate.potential_reach)
         return AudienceSamples(
             matrix=matrix,
             floor=self._api.platform.reach_floor,
-            user_ids=tuple(user_ids),
+            user_ids=user_ids,
         )
 
     def collect_for_users(
-        self, strategy: SelectionStrategy, user_ids: Sequence[int]
+        self,
+        strategy: SelectionStrategy,
+        user_ids: Sequence[int],
+        *,
+        mode: str | None = None,
     ) -> AudienceSamples:
         """Collect the matrix for a subset of panel users (demographic groups).
 
@@ -132,4 +172,4 @@ class AudienceSizeCollector:
             max_interests=self._max_interests,
             locations=self._locations,
         )
-        return collector.collect(strategy)
+        return collector.collect(strategy, mode=mode)

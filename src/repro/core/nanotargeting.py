@@ -204,6 +204,31 @@ class NanotargetingExperiment:
         rng.shuffle(interests)
         return nested_subsets(interests[:max_count], self._config.interest_counts)
 
+    def plan_audiences(
+        self, interest_sets: dict[int, tuple[int, ...]]
+    ) -> dict[int, float]:
+        """Raw audience of every planned campaign from one batched query.
+
+        All campaign interest sets of a target are prefixes of the largest
+        one (:meth:`plan_interest_sets` builds nested subsets), so a single
+        :meth:`~repro.reach.ReachBackend.prefix_audiences` kernel call
+        resolves every size — bit-identical to querying the backend once per
+        campaign, without the per-campaign Python round-trip.
+        """
+        if not interest_sets:
+            return {}
+        sizes = sorted(interest_sets)
+        longest = interest_sets[sizes[-1]]
+        for size in sizes:
+            if interest_sets[size] != longest[:size]:
+                raise ModelError(
+                    "interest sets must be nested prefixes of the largest set"
+                )
+        # Campaigns are worldwide (the experiment ran with the 2020
+        # platform), matching TargetingSpec.for_interests' default.
+        prefix = self._api.backend.prefix_audiences(longest, None)
+        return {size: float(prefix[size - 1]) for size in sizes}
+
     def build_campaign(
         self, target: SyntheticUser, target_label: str, interests: Sequence[int]
     ) -> Campaign:
@@ -239,9 +264,12 @@ class NanotargetingExperiment:
         for index, target in enumerate(targets):
             label = f"User {index + 1}"
             interest_sets = self.plan_interest_sets(target)
+            audiences = self.plan_audiences(interest_sets)
             for n_interests in self._config.interest_counts:
                 campaign = self.build_campaign(target, label, interest_sets[n_interests])
-                record = self._run_campaign(campaign, target, label)
+                record = self._run_campaign(
+                    campaign, target, label, audiences[n_interests]
+                )
                 records.append(record)
                 if record.outcome is not None:
                     raw_audiences.append(record.outcome.raw_audience)
@@ -254,7 +282,11 @@ class NanotargetingExperiment:
     # -- internals ----------------------------------------------------------------------
 
     def _run_campaign(
-        self, campaign: Campaign, target: SyntheticUser, label: str
+        self,
+        campaign: Campaign,
+        target: SyntheticUser,
+        label: str,
+        audience: float | None = None,
     ) -> CampaignRecord:
         try:
             self._api.authorize_campaign(campaign.spec)
@@ -269,11 +301,12 @@ class NanotargetingExperiment:
                 rejected=True,
                 rejection_reason=str(exc),
             )
-        audience = self._api.backend.audience_for(
-            campaign.spec.interests,
-            campaign.spec.effective_locations(),
-            combine=campaign.spec.interest_combine,
-        )
+        if audience is None:
+            audience = self._api.backend.audience_for(
+                campaign.spec.interests,
+                campaign.spec.effective_locations(),
+                combine=campaign.spec.interest_combine,
+            )
         outcome = self._engine.run(
             campaign.with_status(CampaignStatus.ACTIVE),
             audience_size=audience,

@@ -14,6 +14,14 @@ Both strategies return a single *ordered* list per user whose length-``N``
 prefixes are the combinations evaluated for each ``N``; this mirrors the
 paper's construction, where interests are added one by one ("we keep adding
 the following least popular interests sequentially one by one").
+
+For panel-scale collection, :func:`ordered_interest_matrix` resolves every
+user's ordered ids into one padded ``(n_users, width)`` id matrix.  A
+strategy may provide a vectorised ``order_interests_matrix`` (the
+least-popular strategy orders all users in a single global sort over
+id-indexed catalog popularity arrays); otherwise the per-user
+``order_interests`` is looped, so any strategy is panel-capable and every
+row is bit-identical to the scalar ordering either way.
 """
 
 from __future__ import annotations
@@ -57,6 +65,45 @@ class LeastPopularSelection:
         audiences.sort()
         return tuple(interest_id for _, interest_id in audiences[:max_interests])
 
+    def order_interests_matrix(
+        self,
+        users: Sequence[SyntheticUser],
+        catalog: InterestCatalog,
+        max_interests: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`order_interests` over a whole panel.
+
+        All users' interest ids are resolved against the catalog's
+        id-indexed audience array with one ``searchsorted`` and ordered with
+        one global ``lexsort`` keyed ``(row, audience, id)`` — the same
+        ``(audience, id)`` ascending order the scalar tuple sort produces,
+        so every row is bit-identical to the per-user path.  Returns the
+        padded id matrix and per-user counts (see
+        :func:`ordered_interest_matrix` for the layout).
+        """
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        full_counts = np.array([user.interest_count for user in users], dtype=np.int64)
+        total = int(full_counts.sum())
+        flat_ids = np.fromiter(
+            (i for user in users for i in user.interest_ids),
+            dtype=np.int64,
+            count=total,
+        )
+        sorted_ids = catalog.interest_ids
+        positions = np.searchsorted(sorted_ids, flat_ids)
+        positions = np.minimum(positions, len(sorted_ids) - 1)
+        mismatched = sorted_ids[positions] != flat_ids
+        if mismatched.any():
+            # Defer to the scalar path's error for the first offending id.
+            catalog.get(int(flat_ids[np.argmax(mismatched)]))
+        flat_audiences = catalog.all_audience_sizes()[positions]
+        row_index = np.repeat(np.arange(len(full_counts)), full_counts)
+        order = np.lexsort((flat_ids, flat_audiences, row_index))
+        flat_sorted = flat_ids[order]
+        counts = np.minimum(full_counts, max_interests)
+        return _pack_ordered_rows(flat_sorted, full_counts, counts)
+
 
 class RandomSelection:
     """Selects a random subset of the user's interests.
@@ -82,6 +129,61 @@ class RandomSelection:
         interests = np.array(user.interest_ids, dtype=np.int64)
         rng.shuffle(interests)
         return tuple(int(i) for i in interests[:max_interests])
+
+
+def _pack_ordered_rows(
+    flat_sorted: np.ndarray, full_counts: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather the first ``counts[u]`` entries of each user's sorted segment.
+
+    ``flat_sorted`` concatenates every user's fully ordered interest ids
+    (segment ``u`` has length ``full_counts[u]``); the result is the padded
+    ``(n_users, width)`` matrix of the leading ``counts[u]`` ids per row,
+    padded with ``-1``.
+    """
+    n_users = len(full_counts)
+    width = int(counts.max()) if n_users else 0
+    matrix = np.full((n_users, width), -1, dtype=np.int64)
+    if width:
+        starts = np.concatenate(([0], np.cumsum(full_counts[:-1])))
+        columns = np.arange(width)[None, :]
+        valid = columns < counts[:, None]
+        matrix[valid] = flat_sorted[(starts[:, None] + columns)[valid]]
+    return matrix, counts
+
+
+def ordered_interest_matrix(
+    strategy: SelectionStrategy,
+    users: Sequence[SyntheticUser],
+    catalog: InterestCatalog,
+    max_interests: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ordered interest ids of every user as one padded id matrix.
+
+    Returns ``(id_matrix, counts)`` where ``id_matrix`` is a
+    ``(n_users, width)`` int64 matrix (``width = max(counts)``, capped at
+    ``max_interests``), row ``u`` holds
+    ``strategy.order_interests(users[u], catalog, max_interests)`` in its
+    first ``counts[u]`` cells and ``-1`` padding beyond.  Strategies with a
+    vectorised ``order_interests_matrix`` (least popular) resolve the whole
+    panel in one pass; other strategies fall back to looping the scalar
+    ordering — rows are bit-identical either way.
+    """
+    if max_interests < 1:
+        raise ModelError("max_interests must be >= 1")
+    panel_order = getattr(strategy, "order_interests_matrix", None)
+    if panel_order is not None:
+        return panel_order(users, catalog, max_interests)
+    ordered_rows = [
+        strategy.order_interests(user, catalog, max_interests) for user in users
+    ]
+    counts = np.array([len(row) for row in ordered_rows], dtype=np.int64)
+    flat_sorted = np.fromiter(
+        (i for row in ordered_rows for i in row),
+        dtype=np.int64,
+        count=int(counts.sum()),
+    )
+    return _pack_ordered_rows(flat_sorted, counts, counts)
 
 
 def nested_subsets(

@@ -6,12 +6,16 @@ confidence intervals, and produces the :class:`UniquenessReport` rows of
 Table 1 plus the VAS(Q) curves of Figures 3-5.
 
 Both heavy stages run on the batched kernels: :meth:`UniquenessModel.collect`
-issues one prefix-chain query per panel user through
-:meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_batch`, and
-:meth:`UniquenessModel.estimate` computes its confidence intervals with the
-vectorised :func:`~repro.core.bootstrap.bootstrap_cutpoints` — bit-identical
-to the scalar per-query / per-replicate paths, several times faster at
-paper scale (see ``benchmarks/bench_perf_hot_paths.py``).
+rides the collector's panel tier — one vectorised strategy-ordering pass
+plus one spec-free :meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_matrix`
+call for the whole users × N matrix (the per-user
+:meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_batch` and scalar tiers
+remain available through :class:`AudienceSizeCollector` for parity
+benchmarking) — and :meth:`UniquenessModel.estimate` computes its
+confidence intervals with the vectorised
+:func:`~repro.core.bootstrap.bootstrap_cutpoints`.  All tiers are
+bit-identical; the panel tier is several times faster again at paper scale
+(see ``benchmarks/bench_perf_hot_paths.py``).
 """
 
 from __future__ import annotations

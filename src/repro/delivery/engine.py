@@ -213,14 +213,14 @@ class DeliveryEngine:
         )
         cost = self._auction.billed_cost(impressions_total, cpm)
         if click_log is not None:
-            for click in click_events:
-                click_log.record(
-                    campaign_id=click.campaign_id,
-                    landing_url=campaign.creative.landing_url,
-                    hour=click.hour,
-                    ip_address=click.ip_address,
-                    is_target=click.is_target,
-                )
+            click_log.record_many(
+                (
+                    (click.hour, click.ip_address, click.is_target)
+                    for click in click_events
+                ),
+                campaign_id=campaign.campaign_id,
+                landing_url=campaign.creative.landing_url,
+            )
         unique_ips = len({click.ip_address for click in click_events})
         metrics = CampaignMetrics(
             seen=seen,
@@ -272,20 +272,34 @@ class DeliveryEngine:
         active_hours: list[float],
         rng: np.random.Generator,
     ) -> list[ClickEvent]:
-        clicks = []
-        for index in range(n_clicks):
-            hour = float(active_hours[int(rng.integers(0, len(active_hours)))])
-            ip = f"203.0.{rng.integers(0, 255)}.{rng.integers(1, 255)}"
-            clicks.append(
-                ClickEvent(
-                    campaign_id=campaign.campaign_id,
-                    user_id=-(index + 1),
-                    hour=hour + float(rng.uniform(0.0, 1.0)),
-                    is_target=False,
-                    ip_address=ip,
-                )
+        """Clicks from non-targeted pool members, drawn in bulk.
+
+        The per-campaign draw order is part of the engine's determinism
+        contract (pinned by ``tests/test_delivery_engine.py``): four
+        vectorised draws of ``n_clicks`` values each, in the order hour
+        indices, third IP octets, fourth IP octets, fractional hour
+        offsets.
+        """
+        if n_clicks <= 0:
+            return []
+        hours = np.asarray(active_hours, dtype=float)[
+            rng.integers(0, len(active_hours), size=n_clicks)
+        ]
+        third_octets = rng.integers(0, 255, size=n_clicks)
+        fourth_octets = rng.integers(1, 255, size=n_clicks)
+        offsets = rng.uniform(0.0, 1.0, size=n_clicks)
+        return [
+            ClickEvent(
+                campaign_id=campaign.campaign_id,
+                user_id=-(index + 1),
+                hour=float(hour) + float(offset),
+                is_target=False,
+                ip_address=f"203.0.{third}.{fourth}",
             )
-        return clicks
+            for index, (hour, third, fourth, offset) in enumerate(
+                zip(hours, third_octets, fourth_octets, offsets)
+            )
+        ]
 
     def _empty_outcome(self, campaign: Campaign, audience_size: float) -> DeliveryOutcome:
         metrics = CampaignMetrics(

@@ -18,6 +18,9 @@ API, exactly like the real extension queries the real API.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..adsapi import AdsManagerAPI, TargetingSpec
 from ..catalog import InterestCatalog
@@ -27,6 +30,10 @@ from ..reach.countries import country_codes
 from .interface import InterestRiskEntry, RiskReport
 from .revenue import RevenueEstimate, RevenueEstimator
 from .risk import DEFAULT_THRESHOLDS, RiskThresholds
+
+#: Sentinel distinguishing "not resolved yet" from a resolved ``None``
+#: (worldwide) location list.
+_UNRESOLVED = object()
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,7 @@ class FDVTExtension:
         self._catalog = catalog
         self._thresholds = thresholds
         self._revenue = RevenueEstimator()
+        self._resolved_locations: object = _UNRESOLVED
 
     @property
     def thresholds(self) -> RiskThresholds:
@@ -68,18 +76,30 @@ class FDVTExtension:
         """Parse the user's ad-preferences page (collect their interests)."""
         return AdPreferencesSnapshot(user_id=user.user_id, interest_ids=user.interest_ids)
 
+    def query_locations(self) -> tuple[str, ...] | None:
+        """Locations every extension query targets, resolved once.
+
+        ``None`` (worldwide) when the platform allows it; otherwise (the
+        pre-2020 situation) the 50 largest Facebook countries, as in the
+        paper's data collection.  The tuple is memoised on the extension so
+        per-interest queries do not rebuild the 50-country list each time.
+        """
+        if self._resolved_locations is _UNRESOLVED:
+            if self._api.platform.allow_worldwide_location:
+                self._resolved_locations = None
+            else:
+                self._resolved_locations = country_codes()
+        return self._resolved_locations  # type: ignore[return-value]
+
     def interest_audience_size(self, interest_id: int) -> int:
         """Potential Reach of a single-interest audience.
 
-        The audience is worldwide when the platform allows it; otherwise (the
-        pre-2020 situation) the query covers the 50 largest Facebook
-        countries, as in the paper's data collection.
+        The audience covers :meth:`query_locations` (worldwide when the
+        platform allows it, the 50 largest Facebook countries otherwise).
         """
-        if self._api.platform.allow_worldwide_location:
-            locations = None
-        else:
-            locations = country_codes()
-        spec = TargetingSpec.for_interests([interest_id], locations=locations)
+        spec = TargetingSpec.for_interests(
+            [interest_id], locations=self.query_locations()
+        )
         return self._api.estimate_reach(spec).potential_reach
 
     # -- revenue estimation ---------------------------------------------------------
@@ -102,17 +122,56 @@ class FDVTExtension:
         entries = []
         for interest_id in snapshot.interest_ids:
             audience = self.interest_audience_size(interest_id)
-            interest = self._catalog.get(interest_id)
-            entries.append(
-                InterestRiskEntry(
-                    interest_id=interest_id,
-                    name=interest.name,
-                    risk=self._thresholds.classify(audience),
-                    audience_size=audience,
-                )
-            )
+            entries.append(self._risk_entry(interest_id, audience))
         entries.sort(key=lambda entry: (entry.audience_size, entry.interest_id))
         return RiskReport(user_id=user.user_id, entries=tuple(entries))
+
+    def build_risk_reports(
+        self, users: Sequence[SyntheticUser]
+    ) -> tuple[RiskReport, ...]:
+        """Risk reports for many users from one batched audience query.
+
+        The interests of all users are deduplicated and their single-interest
+        Potential Reach values fetched with one bulk
+        :meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_matrix` call — one
+        API request per *unique* interest instead of one per (user, interest)
+        occurrence.  Each returned report is identical to what
+        :meth:`build_risk_report` would build for that user; a user without
+        interests raises :class:`PanelError` exactly like the scalar path.
+        """
+        for user in users:
+            if not user.interest_ids:
+                raise PanelError("the user has no interests to report on")
+        unique_ids = sorted({i for user in users for i in user.interest_ids})
+        if not unique_ids:
+            return ()
+        id_matrix = np.asarray(unique_ids, dtype=np.int64)[:, None]
+        counts = np.ones(len(unique_ids), dtype=np.int64)
+        reaches = self._api.estimate_reach_matrix(
+            id_matrix, counts, locations=self.query_locations()
+        )
+        audience_by_id = {
+            interest_id: int(reach)
+            for interest_id, reach in zip(unique_ids, reaches[:, 0])
+        }
+        reports = []
+        for user in users:
+            entries = [
+                self._risk_entry(interest_id, audience_by_id[interest_id])
+                for interest_id in user.interest_ids
+            ]
+            entries.sort(key=lambda entry: (entry.audience_size, entry.interest_id))
+            reports.append(RiskReport(user_id=user.user_id, entries=tuple(entries)))
+        return tuple(reports)
+
+    def _risk_entry(self, interest_id: int, audience: int) -> InterestRiskEntry:
+        interest = self._catalog.get(interest_id)
+        return InterestRiskEntry(
+            interest_id=interest_id,
+            name=interest.name,
+            risk=self._thresholds.classify(audience),
+            audience_size=audience,
+        )
 
     def remove_interest(self, user: SyntheticUser, interest_id: int) -> SyntheticUser:
         """Remove an interest from the user's ad preferences.

@@ -97,3 +97,27 @@ class ReachBackend(Protocol):
             ],
             dtype=float,
         )
+
+    def prefix_audiences_panel(
+        self,
+        id_matrix: np.ndarray,
+        counts: Sequence[int] | np.ndarray,
+        locations: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Prefix audiences for a padded panel of ordered id rows.
+
+        Row ``u`` of the result must equal
+        ``prefix_audiences(id_matrix[u, :counts[u]], locations)`` bit-for-bit
+        (``NaN`` beyond ``counts[u]``).  This default loops the per-row
+        kernel; vectorised backends override it with a whole-panel sweep.
+        """
+        ids = np.asarray(id_matrix, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        result = np.full(ids.shape, np.nan, dtype=float)
+        for row in range(ids.shape[0]):
+            count = int(counts[row])
+            if count:
+                result[row, :count] = self.prefix_audiences(
+                    ids[row, :count], locations
+                )
+        return result

@@ -63,7 +63,9 @@ def interest_token_hashes(interest_ids: np.ndarray, key: np.uint64) -> np.ndarra
         return _mix64((tokens + _GAMMA) ^ key)
 
 
-def prefix_seeds(interest_ids: np.ndarray, key: np.uint64) -> np.ndarray:
+def prefix_seeds(
+    interest_ids: np.ndarray, key: np.uint64, *, axis: int = -1
+) -> np.ndarray:
     """Jitter seeds for every prefix ``1..N`` of an ordered id list.
 
     Because the combination seed is a wrapping sum of per-id hashes, the
@@ -71,10 +73,15 @@ def prefix_seeds(interest_ids: np.ndarray, key: np.uint64) -> np.ndarray:
     pass instead of ``N`` independent hash-and-seed constructions.  The
     value for prefix ``k`` only depends on the first ``k`` ids, so a
     truncated call returns a bit-identical prefix of the full result.
+
+    ``interest_ids`` may be a 2D (panel) matrix of ordered id rows; the
+    cumulative sum then runs along ``axis`` (default: the last axis, i.e.
+    one independent prefix stream per row, bit-identical to calling the 1D
+    form on each row).
     """
     hashes = interest_token_hashes(interest_ids, key)
     with np.errstate(over="ignore"):
-        return np.cumsum(hashes, dtype=np.uint64)
+        return np.cumsum(hashes, axis=axis, dtype=np.uint64)
 
 
 def combination_seed(interest_ids: np.ndarray, key: np.uint64) -> np.uint64:

@@ -52,6 +52,14 @@ querying a *permutation* of the same set agrees to floating-point rounding
 can differ — only the jitter factor is exactly order-independent).  :meth:`audience_for_batch` additionally decomposes an arbitrary
 combination list into maximal prefix chains so that batched Ads-API queries
 over prefix families hit the O(N) kernel once per chain.
+
+At panel scale, :meth:`StatisticalReachModel.prefix_audiences_panel` lifts
+the whole kernel one level further: it takes a padded ``(n_users, width)``
+matrix of ordered id rows and computes every user's 1..N prefix audiences
+in one chunked cumulative sweep (axis-wise cumulative minima/log-sums plus
+a ≤ 25-step column sweep for the per-topic boost corrections), sharing the
+marginal arrays and the SplitMix64 jitter stream so each row is
+bit-identical to the per-user and scalar paths.
 """
 
 from __future__ import annotations
@@ -102,6 +110,7 @@ class StatisticalReachModel(ReachBackend):
         self._sorted_ids: np.ndarray | None = None
         self._marginal_array: np.ndarray | None = None
         self._topic_codes: np.ndarray | None = None
+        self._n_topic_codes: int = 0
         # Bounded memo caches for repeated scalar queries (nanotargeting
         # planner, countermeasure evaluation, FDVT risk reports).
         self._marginal_cache: dict[int, float] = {}
@@ -238,6 +247,67 @@ class StatisticalReachModel(ReachBackend):
         rarest = base * np.minimum.accumulate(probs)
         return np.maximum(np.minimum(audiences, rarest), 0.0)
 
+    def prefix_audiences_panel(
+        self,
+        id_matrix: np.ndarray,
+        counts: Sequence[int] | np.ndarray,
+        locations: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Prefix audiences for a whole panel of ordered id lists at once.
+
+        ``id_matrix`` is a padded ``(n_users, width)`` integer matrix whose
+        row ``u`` holds the first ``counts[u]`` ordered interest ids of one
+        user (entries beyond ``counts[u]`` are padding and never read).  The
+        result has the same shape; ``result[u, k]`` equals
+        ``prefix_audiences(id_matrix[u, :counts[u]], locations)[k]``
+        bit-for-bit for ``k < counts[u]`` and is ``NaN`` elsewhere.
+
+        This is the panel-scale collection kernel: every cumulative quantity
+        (running minima, log-sums, per-topic boost corrections, jitter
+        seeds) runs row-parallel over the whole matrix, so the users × N
+        measurement of the paper costs a handful of array sweeps instead of
+        one Python iteration per user.
+        """
+        ids = np.asarray(id_matrix, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ConfigurationError("id_matrix must be a 2D (n_users, width) matrix")
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (ids.shape[0],):
+            raise ConfigurationError("counts must hold one entry per id_matrix row")
+        if counts.size and (
+            int(counts.min()) < 0 or int(counts.max()) > ids.shape[1]
+        ):
+            raise ConfigurationError("counts must lie in [0, id_matrix width]")
+        n_users, width = ids.shape
+        result = np.full((n_users, width), np.nan, dtype=float)
+        if n_users == 0 or width == 0 or not counts.any():
+            return result
+        base = self.world_size(locations)
+        valid = np.arange(width)[None, :] < counts[:, None]
+        self._ensure_catalog_arrays()
+        # Padding cells are pointed at a real catalog entry so the gathers
+        # stay in bounds; their values are garbage and masked out at the end
+        # (every kernel stage is prefix-local, so right-hand padding can
+        # never leak into a valid cell).
+        safe_ids = np.where(valid, ids, self._sorted_ids[0])
+        positions = np.searchsorted(self._sorted_ids, safe_ids)
+        positions = np.minimum(positions, len(self._sorted_ids) - 1)
+        mismatched = (self._sorted_ids[positions] != safe_ids) & valid
+        if mismatched.any():
+            raise UnknownInterestError(int(safe_ids[mismatched][0]))
+        probs = self._marginal_array[positions]
+        topics = self._topic_codes[positions]
+        intersections = self._prefix_probabilities_panel(probs, topics)
+        jitters = lognormal_jitter(
+            prefix_seeds(safe_ids, self._jitter_key, axis=1),
+            self._config.jitter_log10_sigma,
+        )
+        audiences = base * intersections * jitters
+        rarest = base * np.minimum.accumulate(probs, axis=1)
+        clipped = np.maximum(np.minimum(audiences, rarest), 0.0)
+        result[valid] = clipped[valid]
+        return result
+
     def audience_for_batch(
         self,
         combinations: Sequence[Sequence[int]],
@@ -305,6 +375,7 @@ class StatisticalReachModel(ReachBackend):
         for index, interest in enumerate(self._catalog):
             topic_codes[index] = codes.setdefault(interest.topic, len(codes))
         self._topic_codes = topic_codes
+        self._n_topic_codes = len(codes)
 
     def _positions(self, ids: np.ndarray) -> np.ndarray:
         """Positions of ``ids`` in the id-indexed catalog arrays."""
@@ -360,6 +431,52 @@ class StatisticalReachModel(ReachBackend):
                 + (same_topic - log_boost_delta[rarest_index])
             )
             return np.minimum(np.exp(log_probability), probs[rarest_index])
+
+    def _prefix_probabilities_panel(
+        self, probs: np.ndarray, topics: np.ndarray
+    ) -> np.ndarray:
+        """Row-parallel :meth:`_prefix_probabilities` over a panel matrix.
+
+        Every cumulative operation of the scalar kernel is sequential along
+        the row axis, so running it with ``axis=1`` reproduces each row
+        bit-for-bit.  The only stage that is not a plain axis-wise reduction
+        — the per-topic cumulative boost corrections — is swept column by
+        column (at most ``width`` ≤ 25 steps, each vectorised over all
+        users), accumulating per-(user, topic) running sums in exactly the
+        order the scalar kernel's masked ``cumsum`` consumes them.
+        """
+        n_users, width = probs.shape
+        alpha = self._config.correlation_alpha
+        boost = 1.0 + self._config.topic_affinity_boost
+        with np.errstate(all="ignore"):
+            cumulative_min = np.minimum.accumulate(probs, axis=1)
+            previous_min = np.concatenate(
+                (np.full((n_users, 1), np.inf), cumulative_min[:, :-1]), axis=1
+            )
+            new_min = probs < previous_min
+            rarest_index = np.maximum.accumulate(
+                np.where(new_min, np.arange(width)[None, :], 0), axis=1
+            )
+            retention = probs**alpha
+            plain = np.minimum(1.0, retention)
+            boosted = np.minimum(1.0, retention * boost)
+            log_plain = np.log(plain)
+            log_boost_delta = np.log(boosted) - log_plain
+            total_log = np.cumsum(log_plain, axis=1)
+            rows = np.arange(n_users)
+            rarest_topic = topics[rows[:, None], rarest_index]
+            running = np.zeros((n_users, self._n_topic_codes), dtype=float)
+            same_topic = np.empty_like(probs)
+            for column in range(width):
+                running[rows, topics[:, column]] += log_boost_delta[:, column]
+                same_topic[:, column] = running[rows, rarest_topic[:, column]]
+            rarest_probs = probs[rows[:, None], rarest_index]
+            log_probability = (
+                np.log(rarest_probs)
+                + (total_log - log_plain[rows[:, None], rarest_index])
+                + (same_topic - log_boost_delta[rows[:, None], rarest_index])
+            )
+            return np.minimum(np.exp(log_probability), rarest_probs)
 
     def _jitter(self, interest_ids: tuple[int, ...]) -> float:
         """Deterministic log-normal jitter keyed on the interest combination.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.adsapi import TargetingSpec
@@ -14,6 +15,7 @@ from repro.delivery import (
     DeliveryEngine,
     build_disclosure,
 )
+from repro.delivery.clicklog import pseudonymize_ip
 from repro.errors import DeliveryError
 
 
@@ -143,6 +145,69 @@ class TestDeliveryEngine:
         )
         assert outcome.metrics.clicks == len(log.entries_for("c1"))
         assert outcome.metrics.unique_click_ips <= outcome.metrics.clicks
+
+    def test_non_target_click_draw_order_is_pinned(self, catalog):
+        """The bulk generator's per-campaign draw order is a contract.
+
+        Four vectorised draws of ``n_clicks`` values each, in this order:
+        hour indices, third IP octets, fourth IP octets, fractional hour
+        offsets.  A same-seeded reference Generator must reproduce every
+        click exactly.
+        """
+        engine = DeliveryEngine(catalog)
+        campaign = _campaign(catalog, 5)
+        active_hours = list(campaign.schedule.active_hours())
+        n_clicks = 7
+        clicks = engine._non_target_clicks(
+            campaign, n_clicks, active_hours, np.random.default_rng(99)
+        )
+        reference = np.random.default_rng(99)
+        hours = np.asarray(active_hours)[
+            reference.integers(0, len(active_hours), size=n_clicks)
+        ]
+        thirds = reference.integers(0, 255, size=n_clicks)
+        fourths = reference.integers(1, 255, size=n_clicks)
+        offsets = reference.uniform(0.0, 1.0, size=n_clicks)
+        assert len(clicks) == n_clicks
+        for index, click in enumerate(clicks):
+            assert click.hour == float(hours[index]) + float(offsets[index])
+            assert click.ip_address == f"203.0.{thirds[index]}.{fourths[index]}"
+            assert click.user_id == -(index + 1)
+            assert not click.is_target
+
+    def test_no_non_target_clicks_requested(self, catalog):
+        engine = DeliveryEngine(catalog)
+        campaign = _campaign(catalog, 5)
+        clicks = engine._non_target_clicks(
+            campaign, 0, [0.0, 1.0], np.random.default_rng(1)
+        )
+        assert clicks == []
+
+
+class TestClickLogRecordMany:
+    def test_bulk_matches_per_click_records(self):
+        records = [(1.5, "203.0.1.2", False), (2.5, "203.0.1.2", True), (3.0, "203.0.9.9", False)]
+        bulk_log = ClickLog()
+        bulk_entries = bulk_log.record_many(
+            iter(records), campaign_id="c1", landing_url="https://x/c1"
+        )
+        loop_log = ClickLog()
+        loop_entries = [
+            loop_log.record(
+                campaign_id="c1",
+                landing_url="https://x/c1",
+                hour=hour,
+                ip_address=ip,
+                is_target=is_target,
+            )
+            for hour, ip, is_target in records
+        ]
+        assert list(bulk_entries) == loop_entries
+        assert bulk_log.entries == loop_log.entries
+        assert bulk_log.unique_ips_for("c1") == 2
+        assert bulk_entries[0].pseudonymized_ip == pseudonymize_ip(
+            "203.0.1.2", bulk_log.secret_key
+        )
 
 
 class TestDeliveryConfig:
