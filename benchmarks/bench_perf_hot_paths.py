@@ -8,6 +8,12 @@ the hot paths industrialised by the batched pipeline —
 * audience-size **collection** at its three tiers (the panel-scale fused
   kernel: one vectorised ordering pass + one ``estimate_reach_matrix``
   call; the per-user batched prefix query; the scalar per-(user, N) loop),
+* **sharded collection** (the ``repro.exec`` layer: per-shard ordering +
+  kernels on a multi-worker runner vs the fused whole-panel pass, measured
+  on a tiled panel large enough that the fused pass falls out of cache),
+* **streaming estimation** (``collect_stream`` blocks drained into the
+  mergeable ``AudienceAccumulator`` and bootstrapped off the column store,
+  vs the materialised matrix),
 * the **FDVT risk reports** (deduped bulk query vs one scalar query per
   (user, interest) occurrence),
 * **estimation** (quantiles + log-log fits + confidence intervals),
@@ -38,14 +44,18 @@ from repro._rng import as_generator
 from repro.adsapi import AdsManagerAPI
 from repro.config import PlatformConfig, UniquenessConfig
 from repro.core import (
+    AudienceAccumulator,
     AudienceSizeCollector,
+    LeastPopularSelection,
     RandomSelection,
     UniquenessModel,
     bootstrap_cutpoints,
 )
 from repro.core.fitting import fit_vas
 from repro.errors import ModelError
-from repro.fdvt import FDVTExtension
+from repro.exec import ShardExecutor, drain
+from repro.fdvt import FDVTExtension, FDVTPanel
+from repro.population import SyntheticUser
 from repro.reach import country_codes
 from repro.simclock import SimClock
 
@@ -58,6 +68,15 @@ QUANTILES = (50.0, 90.0, 95.0)
 #: Users covered by the risk-report stage (the scalar reference issues one
 #: API call per (user, interest) occurrence, so the stage runs on a slice).
 RISK_REPORT_USERS = 30
+
+#: Panel tiling for the sharded-collection stage.  The sharding gains come
+#: from per-shard cache residency (and, on multi-core hosts, parallelism),
+#: so the stage needs a panel large enough that the fused whole-panel
+#: ordering + kernel fall out of cache; the small quick-scale panel is
+#: tiled harder to reach that regime.
+SHARD_TILES = 16
+QUICK_SHARD_TILES = 64
+SHARD_WORKERS = 4
 
 
 def _timed(label: str, fn):
@@ -87,7 +106,26 @@ def _scalar_bootstrap_reference(samples, qs, n_bootstrap: int, seed: int):
     return {q: np.asarray(values, dtype=float) for q, values in results.items()}
 
 
-def run_benchmark(factor: int, n_bootstrap: int) -> dict:
+def _tiled_panel(panel: FDVTPanel, tiles: int) -> FDVTPanel:
+    """Replicate a panel's users ``tiles`` times with fresh user ids."""
+    users = []
+    user_id = 0
+    for _ in range(tiles):
+        for user in panel.users:
+            users.append(
+                SyntheticUser(
+                    user_id=user_id,
+                    country=user.country,
+                    gender=user.gender,
+                    age=user.age,
+                    interest_ids=user.interest_ids,
+                )
+            )
+            user_id += 1
+    return FDVTPanel(users, panel.catalog)
+
+
+def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
     simulation = build_simulation(quick_config(factor=factor))
     locations = country_codes()
     strategy = RandomSelection(seed=20211102)
@@ -128,6 +166,61 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
     )
     print(f"  matrices bit-identical: {collection_identical}")
 
+    big_panel = _tiled_panel(simulation.panel, shard_tiles)
+    shard_size = max(64, len(big_panel) // 16)
+    executor = ShardExecutor(
+        backend="thread", workers=SHARD_WORKERS, shard_size=shard_size
+    )
+    print(
+        f"sharded collection ({len(big_panel)} tiled users, "
+        f"{executor.describe()}):"
+    )
+
+    def big_collector() -> AudienceSizeCollector:
+        return AudienceSizeCollector(
+            fresh_api(), big_panel, max_interests=25, locations=locations
+        )
+
+    lp_strategy = LeastPopularSelection()
+    fused_collect_s, fused_samples = _timed(
+        "fused (one whole-panel pass)",
+        lambda: big_collector().collect(lp_strategy, mode="panel"),
+    )
+    sharded_collect_s, sharded_samples = _timed(
+        "sharded (multi-worker shard plan)",
+        lambda: big_collector().collect_sharded(lp_strategy, executor=executor),
+    )
+    sharded_identical = bool(
+        np.array_equal(sharded_samples.matrix, fused_samples.matrix, equal_nan=True)
+    )
+    shard_gain = fused_collect_s / sharded_collect_s if sharded_collect_s else float("inf")
+    print(f"  matrices bit-identical: {sharded_identical}")
+    print(f"  multi-worker vs fused panel tier: {shard_gain:.2f}x")
+    del big_panel, fused_samples, sharded_samples
+
+    print("streaming estimate (blocks -> accumulator -> bootstrap):")
+    stream_collect_s, streamed_store = _timed(
+        "collect_stream + accumulator",
+        lambda: drain(
+            AudienceSizeCollector(
+                fresh_api(), simulation.panel, max_interests=25, locations=locations
+            ).collect_stream(strategy),
+            AudienceAccumulator(),
+        ),
+    )
+    stream_bootstrap_s, streamed_cutpoints = _timed(
+        "bootstrap off the column store",
+        lambda: bootstrap_cutpoints(
+            streamed_store, QUANTILES, n_bootstrap=n_bootstrap, seed=7
+        ),
+    )
+    stream_identical = bool(
+        np.array_equal(
+            streamed_store.to_samples().matrix, panel_samples.matrix, equal_nan=True
+        )
+    )
+    print(f"  streamed samples bit-identical: {stream_identical}")
+
     print(f"FDVT risk reports ({RISK_REPORT_USERS} users, deduped interests):")
     risk_users = list(simulation.panel)[:RISK_REPORT_USERS]
     batched_extension = FDVTExtension(fresh_api(), simulation.catalog)
@@ -161,6 +254,14 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
         for q in QUANTILES
     )
     print(f"  cutpoint distributions bit-identical: {bootstrap_identical}")
+    streamed_bootstrap_identical = all(
+        np.array_equal(vector_cutpoints[q], streamed_cutpoints[q], equal_nan=True)
+        for q in QUANTILES
+    )
+    print(
+        f"  streamed cutpoint distributions bit-identical: "
+        f"{streamed_bootstrap_identical}"
+    )
 
     print("end-to-end estimation (collect cached):")
     model = UniquenessModel(
@@ -189,6 +290,13 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
         f"({batch_collect_s * 1000.0:.0f} ms -> {panel_collect_s * 1000.0:.0f} ms)"
     )
 
+    stream_total = stream_collect_s + stream_bootstrap_s
+    panel_total = panel_collect_s + vector_bootstrap_s
+    print(
+        f"streaming collect+bootstrap: {stream_total:.3f}s vs materialised "
+        f"{panel_total:.3f}s ({panel_total / stream_total:.2f}x)"
+    )
+
     return {
         "scale_factor": factor,
         "n_users": len(simulation.panel),
@@ -196,10 +304,16 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
         "max_interests": 25,
         "n_bootstrap": n_bootstrap,
         "n_risk_report_users": len(risk_users),
+        "n_tiled_users": len(simulation.panel) * shard_tiles,
+        "shard_executor": executor.describe(),
         "timings_seconds": {
             "collect_panel": panel_collect_s,
             "collect_batched": batch_collect_s,
             "collect_scalar": scalar_collect_s,
+            "collect_fused_tiled": fused_collect_s,
+            "collect_sharded_tiled": sharded_collect_s,
+            "stream_collect": stream_collect_s,
+            "bootstrap_streamed": stream_bootstrap_s,
             "risk_reports_batched": risk_batch_s,
             "risk_reports_scalar": risk_scalar_s,
             "bootstrap_vectorised": vector_bootstrap_s,
@@ -209,12 +323,17 @@ def run_benchmark(factor: int, n_bootstrap: int) -> dict:
         "speedups": {
             "collect": scalar_collect_s / panel_collect_s,
             "collect_panel_vs_batched": panel_vs_batch,
+            "collect_sharded_vs_fused": shard_gain,
+            "stream_vs_materialised": panel_total / stream_total,
             "risk_reports": risk_scalar_s / risk_batch_s,
             "bootstrap": scalar_bootstrap_s / vector_bootstrap_s,
             "collect_plus_bootstrap": speedup,
         },
         "parity": {
             "collection_bit_identical": collection_identical,
+            "sharded_bit_identical": sharded_identical,
+            "stream_bit_identical": stream_identical,
+            "streamed_bootstrap_bit_identical": streamed_bootstrap_identical,
             "risk_reports_identical": risk_identical,
             "bootstrap_bit_identical": bootstrap_identical,
         },
@@ -255,12 +374,28 @@ def main() -> int:
         help="exit non-zero unless the panel tier beats the per-user batch "
         "tier by this factor on the collect stage",
     )
+    parser.add_argument(
+        "--min-shard-gain",
+        type=float,
+        default=None,
+        help="exit non-zero unless multi-worker sharded collection beats "
+        "the fused single-pass panel tier by this factor on the tiled panel",
+    )
+    parser.add_argument(
+        "--shard-tiles",
+        type=int,
+        default=None,
+        help="panel tiling factor for the sharded-collection stage",
+    )
     args = parser.parse_args()
 
     factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
     n_bootstrap = args.bootstrap or (100 if args.quick else 2_000)
+    shard_tiles = args.shard_tiles or (
+        QUICK_SHARD_TILES if args.quick else SHARD_TILES
+    )
 
-    record = run_benchmark(factor, n_bootstrap)
+    record = run_benchmark(factor, n_bootstrap, shard_tiles)
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     record["python"] = platform.python_version()
     record["numpy"] = np.__version__
@@ -288,6 +423,14 @@ def main() -> int:
             print(
                 f"FAIL: panel-vs-batched gain {achieved:.1f}x < required "
                 f"{args.min_panel_gain:.1f}x"
+            )
+            failed = True
+    if args.min_shard_gain is not None:
+        achieved = record["speedups"]["collect_sharded_vs_fused"]
+        if achieved < args.min_shard_gain:
+            print(
+                f"FAIL: sharded-vs-fused gain {achieved:.2f}x < required "
+                f"{args.min_shard_gain:.2f}x"
             )
             failed = True
     if not all(record["parity"].values()):

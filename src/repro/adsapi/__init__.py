@@ -1,7 +1,7 @@
 """Simulated Facebook Ads Manager API."""
 
 from .account import AccountStatus, AdAccount
-from .api import AdsManagerAPI, ApiCallStats
+from .api import AdsManagerAPI, ApiCallStats, CallBill
 from .custom_audience import CustomAudience, CustomAudienceManager, hash_pii
 from .policy import CampaignDecision, CampaignRule, PlatformPolicy, PolicyWarning
 from .ratelimit import TokenBucket
@@ -19,6 +19,7 @@ __all__ = [
     "AdAccount",
     "AdsManagerAPI",
     "ApiCallStats",
+    "CallBill",
     "CampaignDecision",
     "CampaignRule",
     "CustomAudience",

@@ -52,6 +52,34 @@ class ApiCallStats:
     campaigns_rejected: int
 
 
+@dataclass(frozen=True, slots=True)
+class CallBill:
+    """The API-traffic cost of a block of work, as a mergeable value.
+
+    Sharded execution computes reach blocks as pure kernels and accounts
+    for them separately: every shard produces its bill, the coordinator
+    merges them and settles the total in one step
+    (:meth:`AdsManagerAPI.settle_reach_bill` then
+    :meth:`AdsManagerAPI.record_reach_bill`).  Because the token bucket is
+    drained once with the merged total — exactly what the fused
+    :meth:`AdsManagerAPI.estimate_reach_matrix` does — sharded rate-limit
+    accounting is bit-identical to the single pass for any shard layout.
+    """
+
+    reach_estimates: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reach_estimates < 0:
+            raise TargetingValidationError("a bill cannot be negative")
+
+    @staticmethod
+    def merged(bills: Sequence["CallBill"]) -> "CallBill":
+        """Combine any number of bills (the empty merge is a zero bill)."""
+        return CallBill(
+            reach_estimates=sum(bill.reach_estimates for bill in bills)
+        )
+
+
 @dataclass
 class _Counters:
     reach_estimates: int = 0
@@ -118,6 +146,11 @@ class AdsManagerAPI:
     def backend(self) -> ReachBackend:
         """The reach backend answering audience-size queries."""
         return self._backend
+
+    @property
+    def rate_limiter(self) -> TokenBucket:
+        """The token bucket throttling this API instance's requests."""
+        return self._bucket
 
     def call_stats(self) -> ApiCallStats:
         """Usage counters for this API instance."""
@@ -223,6 +256,38 @@ class AdsManagerAPI:
         immediately available tokens — one recorded rate-limit event, like
         an aborted scalar burst — and no estimates are returned or counted.
         """
+        ids, counts, locations = self.validate_reach_matrix(
+            id_matrix, counts, locations=locations
+        )
+        bill = self.reach_matrix_bill(counts)
+        self.settle_reach_bill(bill)
+        values = self.compute_reach_matrix(ids, counts, locations)
+        self.record_reach_bill(bill)
+        return values
+
+    # -- sharded reach estimation --------------------------------------------------
+    #
+    # The bulk endpoint decomposes into four steps so a shard coordinator
+    # can validate per shard, settle ONE merged bill, fan the pure kernel
+    # out to workers and record the call stats afterwards — in exactly the
+    # order the fused endpoint performs them, which is what keeps sharded
+    # accounting bit-identical across worker counts.
+
+    def validate_reach_matrix(
+        self,
+        id_matrix: np.ndarray,
+        counts: Sequence[int] | np.ndarray,
+        *,
+        locations: Sequence[str] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, tuple[str, ...] | None]:
+        """All of :meth:`estimate_reach_matrix`'s checks, no tokens spent.
+
+        Returns the normalised ``(id_matrix, counts, locations)`` triple
+        (int64 arrays, effective location tuple with worldwide resolved to
+        ``None``) ready for :meth:`compute_reach_matrix`.  Validation is
+        row-local, so validating shard blocks separately accepts and
+        rejects exactly the same inputs as one whole-matrix call.
+        """
         ids = np.asarray(id_matrix, dtype=np.int64)
         if ids.ndim != 2:
             raise TargetingValidationError(
@@ -257,20 +322,53 @@ class AdsManagerAPI:
         sorted_rows = np.sort(work, axis=1)
         if ((sorted_rows[:, 1:] == sorted_rows[:, :-1]) & (sorted_rows[:, 1:] >= 0)).any():
             raise TargetingValidationError("interests must not contain duplicates")
-        total = int(counts.sum())
-        self._throttle_bulk(total)
+        return ids, counts, locations
+
+    def reach_matrix_bill(self, counts: Sequence[int] | np.ndarray) -> CallBill:
+        """The bill of a (block of a) reach matrix: one request per cell."""
+        return CallBill(reach_estimates=int(np.asarray(counts, dtype=np.int64).sum()))
+
+    def settle_reach_bill(self, bill: CallBill) -> None:
+        """Pay a (merged) bill's rate-limit cost in one accounting step.
+
+        Equivalent to one sequential :meth:`estimate_reach` throttle per
+        billed request: a single bucket drain plus one consolidated clock
+        fast-forward, with the ``rate_limited`` counter incremented per
+        request that had to wait.  Must be called exactly once with the
+        *merged* bill of a shard plan — settling shard bills separately
+        would interleave extra refills and break bit-identity with the
+        fused pass.
+        """
+        self._throttle_bulk(bill.reach_estimates)
+
+    def record_reach_bill(self, bill: CallBill) -> None:
+        """Record a settled bill's successful calls in ``call_stats``."""
+        self._counters.reach_estimates += bill.reach_estimates
+
+    def compute_reach_matrix(
+        self,
+        id_matrix: np.ndarray,
+        counts: Sequence[int] | np.ndarray,
+        locations: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """The pure compute stage of the bulk endpoint (kernel + floor).
+
+        No validation and no accounting happen here — callers must have run
+        :meth:`validate_reach_matrix` and settled the bill.  The stage is
+        row-local and mutates no API state, which is what lets shard
+        runners execute blocks of it concurrently.
+        """
+        ids = np.asarray(id_matrix, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
         panel_kernel = getattr(self._backend, "prefix_audiences_panel", None)
         if panel_kernel is not None:
             raw = panel_kernel(ids, counts, locations)
         else:
-            raw = np.full(ids.shape, np.nan, dtype=float)
-            for row in range(ids.shape[0]):
-                count = int(counts[row])
-                if count:
-                    raw[row, :count] = self._backend.prefix_audiences(
-                        ids[row, :count], locations
-                    )
-        self._counters.reach_estimates += total
+            # Backends without a panel kernel get the protocol's per-row
+            # default, applied as an unbound method.
+            raw = ReachBackend.prefix_audiences_panel(
+                self._backend, ids, counts, locations
+            )
         return apply_reporting_floor_matrix(raw, self._platform.reach_floor)
 
     def audience_warnings(self, spec: TargetingSpec) -> tuple[PolicyWarning, ...]:
@@ -302,17 +400,25 @@ class AdsManagerAPI:
     # -- campaign authorisation -------------------------------------------------------
 
     def authorize_campaign(
-        self, spec: TargetingSpec, *, active_audience: float | None = None
+        self,
+        spec: TargetingSpec,
+        *,
+        active_audience: float | None = None,
+        raw_audience: float | None = None,
     ) -> CampaignDecision:
         """Run the policy checks a campaign goes through before launching.
 
         Raises :class:`CampaignRejectedError` when an installed countermeasure
         rejects the campaign; otherwise records the launch on the account and
-        returns the (possibly warning-laden) decision.
+        returns the (possibly warning-laden) decision.  Callers that already
+        resolved the spec's raw audience through a batched kernel (the
+        nanotargeting experiment plans whole prefix families in one sweep)
+        may pass it as ``raw_audience`` to skip the redundant backend query;
+        the batched values are bit-identical to the scalar lookup.
         """
         self._account.ensure_active()
         validate_spec(spec, self._platform)
-        raw = self._raw_audience(spec)
+        raw = self._raw_audience(spec) if raw_audience is None else float(raw_audience)
         decision = self._policy.authorize_campaign(
             spec, raw, active_audience=active_audience
         )

@@ -50,7 +50,14 @@ class CampaignDecision:
 
 @runtime_checkable
 class CampaignRule(Protocol):
-    """A proactive countermeasure evaluated before a campaign launches."""
+    """A proactive countermeasure evaluated before a campaign launches.
+
+    Implementations may additionally provide a vectorised
+    ``evaluate_matrix(interest_counts, raw_audiences, active_audiences)``
+    returning a boolean rejection mask over a whole campaign workload;
+    bulk evaluators (``repro.countermeasures.evaluate_workload_impact``)
+    use it when present and fall back to looping :meth:`evaluate`.
+    """
 
     #: Short identifier used in rejection reasons.
     name: str

@@ -11,6 +11,10 @@ sub-command per stage of the paper:
 
 Every sub-command accepts ``--factor`` (the scale divisor applied to the
 paper-scale configuration; 1 reproduces the full-scale study) and ``--seed``.
+The heavy commands (``uniqueness``, ``countermeasures``) additionally take
+``--workers`` / ``--exec-backend`` to run their panel-scale sweeps through
+the sharded execution layer (:mod:`repro.exec`); results are bit-identical
+for every backend and worker count.
 """
 
 from __future__ import annotations
@@ -44,6 +48,18 @@ def _build(args: argparse.Namespace) -> Simulation:
     return build_simulation(config, seed=args.seed)
 
 
+def _executor_from_args(simulation: Simulation, args: argparse.Namespace):
+    """The ShardExecutor requested by --workers/--exec-backend (None = fused)."""
+    workers = getattr(args, "workers", 1)
+    backend = getattr(args, "exec_backend", None)
+    if workers == 1 and backend is None:
+        return None
+    return simulation.executor(
+        backend=backend or ("thread" if workers > 1 else "serial"),
+        workers=workers,
+    )
+
+
 def _write_json(path: str | None, payload: dict) -> None:
     if not path:
         return
@@ -71,12 +87,15 @@ def cmd_uniqueness(args: argparse.Namespace) -> int:
     """Estimate N_P for both selection strategies (Table 1)."""
     simulation = _build(args)
     model = simulation.uniqueness_model()
+    executor = _executor_from_args(simulation, args)
     strategies = simulation.strategies()
     probabilities = tuple(args.probabilities)
     rows = []
     payload = {}
     for strategy in strategies:
-        report = model.estimate(strategy, probabilities=probabilities)
+        report = model.estimate(
+            strategy, probabilities=probabilities, executor=executor
+        )
         rows.append(report.table_row())
         payload[strategy.name] = uniqueness_report_to_dict(report)
     print(format_records(rows))
@@ -143,7 +162,10 @@ def cmd_countermeasures(args: argparse.Namespace) -> int:
         args.workload_size, seed=args.seed or 0
     )
     impact = evaluate_workload_impact(
-        simulation.campaign_api, workload, [recommended_rules()[0]]
+        simulation.campaign_api,
+        workload,
+        [recommended_rules()[0]],
+        executor=_executor_from_args(simulation, args),
     )
     print(f"baseline successes : {baseline.success_count}/{baseline.n_campaigns}")
     print(f"protected successes: {protected.success_count}/{protected.n_campaigns}")
@@ -175,6 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=None, help="override the default seeds")
 
+    def add_exec(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker count for the sharded execution layer (1 = fused pass)",
+        )
+        sub.add_argument(
+            "--exec-backend",
+            choices=("serial", "thread", "process"),
+            default=None,
+            help="shard runner backend (defaults to thread when --workers > 1)",
+        )
+
     dataset = subparsers.add_parser("dataset", help="generate and save the synthetic dataset")
     add_common(dataset)
     dataset.add_argument("--output-dir", default="dataset", help="directory for the JSON files")
@@ -182,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     uniqueness = subparsers.add_parser("uniqueness", help="estimate N_P (Table 1)")
     add_common(uniqueness)
+    add_exec(uniqueness)
     uniqueness.add_argument(
         "--probabilities",
         type=float,
@@ -216,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "countermeasures", help="evaluate the Section 8.3 countermeasures"
     )
     add_common(countermeasures)
+    add_exec(countermeasures)
     countermeasures.add_argument("--workload-size", type=int, default=500)
     countermeasures.set_defaults(handler=cmd_countermeasures)
 

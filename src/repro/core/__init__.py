@@ -12,7 +12,9 @@ from .nanotargeting import (
     SuccessValidation,
 )
 from .quantiles import (
+    AudienceAccumulator,
     AudienceSamples,
+    StreamedAudienceSamples,
     masked_column_quantiles,
     probability_to_percentile,
 )
@@ -23,6 +25,7 @@ from .selection import (
     SelectionStrategy,
     nested_subsets,
     ordered_interest_matrix,
+    pad_id_rows,
 )
 from .uniqueness import UniquenessModel
 
@@ -30,6 +33,7 @@ __all__ = [
     "AttackAssessment",
     "AttackPlan",
     "AttackPlanner",
+    "AudienceAccumulator",
     "AudienceSamples",
     "AudienceSizeCollector",
     "COLLECT_MODES",
@@ -44,6 +48,7 @@ __all__ = [
     "NanotargetingExperiment",
     "RandomSelection",
     "SelectionStrategy",
+    "StreamedAudienceSamples",
     "SuccessValidation",
     "UniquenessModel",
     "UniquenessReport",
@@ -54,6 +59,7 @@ __all__ = [
     "masked_column_quantiles",
     "nested_subsets",
     "ordered_interest_matrix",
+    "pad_id_rows",
     "percentile_interval",
     "probability_to_percentile",
     "truncate_at_floor",

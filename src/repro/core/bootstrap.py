@@ -21,6 +21,17 @@ replicate of a chunk at once with :func:`~repro.core.fitting.fit_vas_many` —
 closed-form masked least squares across rows, no per-replicate Python work.  Replicates
 whose fit would fail (degenerate resample, non-positive slope) surface as
 ``NaN`` exactly like the scalar loop did.
+
+Streaming support
+-----------------
+:func:`bootstrap_cutpoints` reads its input through the row-gather
+interface (``samples.take_rows`` plus the ``n_users`` / ``max_interests`` /
+``floor`` views) shared by the dense :class:`~repro.core.quantiles.AudienceSamples`
+and the streamed :class:`~repro.core.quantiles.StreamedAudienceSamples`
+column store, so the whole collection → quantiles → bootstrap chain can run
+off accumulated per-shard blocks without ever materialising the users x N
+matrix.  Both stores gather bit-identical resample stacks, hence
+bit-identical cutpoint distributions.
 """
 
 from __future__ import annotations
@@ -33,7 +44,11 @@ import numpy as np
 from .._rng import SeedLike, as_generator
 from ..errors import ModelError
 from .fitting import fit_vas_many
-from .quantiles import AudienceSamples, masked_column_quantiles
+from .quantiles import (
+    AudienceSamples,
+    StreamedAudienceSamples,
+    masked_column_quantiles,
+)
 
 #: Target transient-buffer size (floats) when chunking bootstrap replicates.
 _CHUNK_BUDGET = 4_000_000
@@ -75,7 +90,7 @@ def percentile_interval(values: Sequence[float], level: float) -> ConfidenceInte
 
 
 def bootstrap_cutpoints(
-    samples: AudienceSamples,
+    samples: AudienceSamples | StreamedAudienceSamples,
     q_percents: Sequence[float],
     *,
     n_bootstrap: int,
@@ -99,8 +114,7 @@ def bootstrap_cutpoints(
         raise ModelError("n_bootstrap must be >= 1")
     rng = as_generator(seed)
     qs = [float(q) for q in q_percents]
-    matrix = samples.matrix
-    n_users, width = matrix.shape
+    n_users, width = samples.n_users, samples.max_interests
     if chunk_size is None:
         chunk_size = max(1, min(n_bootstrap, _CHUNK_BUDGET // max(1, n_users * width)))
     results = {q: np.empty(n_bootstrap, dtype=float) for q in qs}
@@ -110,7 +124,7 @@ def bootstrap_cutpoints(
         # stream is identical to one up-front (n_bootstrap, n_users) draw,
         # so results do not depend on the chunk size.
         chunk = rng.integers(0, n_users, size=(count, n_users))
-        resampled = matrix[chunk]  # (chunk, n_users, width)
+        resampled = samples.take_rows(chunk)  # (chunk, n_users, width)
         with np.errstate(all="ignore"):
             vas_rows = masked_column_quantiles(resampled, qs)
         for q, replicate_rows in zip(qs, vas_rows):

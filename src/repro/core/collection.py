@@ -21,6 +21,18 @@ Three entry points produce bit-identical matrices and tiers of throughput:
 * ``mode="scalar"`` (the reference tier) loops one API call per (user, N)
   cell.
 
+On top of the three tiers sits the sharded execution layer
+(:mod:`repro.exec`): :meth:`AudienceSizeCollector.collect_sharded` cuts the
+panel into contiguous row shards — each shard ordered, validated and
+kernel-evaluated independently, optionally on a thread or process pool —
+and :meth:`AudienceSizeCollector.collect_stream` yields the same per-shard
+blocks as a generator so downstream accumulators never hold the full
+matrix.  Both are bit-identical to the panel tier for every backend, worker
+count and shard size: ordering and the prefix kernel are row-local, and the
+rate-limit bill of all shards is merged and settled in one accounting step,
+exactly like the fused ``estimate_reach_matrix`` call (pinned by
+``tests/test_exec_sharding.py``).
+
 Rate-limit / call-stats accounting sees one request per (user, N) cell on
 every tier; the panel tier settles the whole bill in one vectorised
 accounting step.
@@ -28,18 +40,32 @@ accounting step.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..adsapi import AdsManagerAPI, TargetingSpec
+from ..adsapi import AdsManagerAPI, CallBill, TargetingSpec
 from ..errors import ModelError, PanelError
+from ..exec import ShardExecutor
+from ..exec.plan import Shard
+from ..exec.tasks import ReachShardTask, run_reach_shard, shard_backend_payload
 from ..fdvt.panel import FDVTPanel
 from .quantiles import AudienceSamples
 from .selection import SelectionStrategy, ordered_interest_matrix
 
 #: Collection tiers, fastest first.
 COLLECT_MODES = ("panel", "batch", "scalar")
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """One planned shard: its ordered block, its bill, its compute task."""
+
+    shard: Shard
+    bill: CallBill
+    #: ``None`` when the shard has nothing to query (all-empty users).
+    task: ReachShardTask | None
 
 
 class AudienceSizeCollector:
@@ -138,6 +164,157 @@ class AudienceSizeCollector:
             floor=self._api.platform.reach_floor,
             user_ids=user_ids,
         )
+
+    def collect_sharded(
+        self,
+        strategy: SelectionStrategy,
+        *,
+        executor: ShardExecutor | None = None,
+        backend: str | None = None,
+        workers: int = 1,
+        shard_size: int | None = None,
+    ) -> AudienceSamples:
+        """Collect the full matrix through the sharded execution layer.
+
+        The panel is cut into contiguous row shards
+        (:meth:`~repro.exec.ShardExecutor.plan`); each shard is ordered and
+        validated independently, the merged rate-limit bill is settled in
+        one step, and the pure kernel blocks run on the executor's runner
+        (serial, thread pool or process pool).  The assembled samples,
+        ``call_stats`` and token-bucket levels are bit-identical to
+        :meth:`collect` on the panel tier for every backend, worker count
+        and shard size.  Pass a prebuilt ``executor`` or the loose
+        ``backend`` / ``workers`` / ``shard_size`` knobs (``backend``
+        defaults to a thread pool when ``workers > 1``).
+        """
+        executor = self._resolve_executor(executor, backend, workers, shard_size)
+        runner = executor.runner()
+        jobs = self._plan_shard_jobs(strategy, executor, runner)
+        merged = CallBill.merged([job.bill for job in jobs])
+        self._api.settle_reach_bill(merged)
+        tasks = [job.task for job in jobs if job.task is not None]
+        results = iter(runner.run(run_reach_shard, tasks))
+        n_users = len(self._panel)
+        matrix = np.full((n_users, self._max_interests), np.nan, dtype=float)
+        for job in jobs:
+            if job.task is None:
+                continue
+            values = next(results)
+            matrix[job.shard.start : job.shard.stop, : values.shape[1]] = values
+        self._api.record_reach_bill(merged)
+        return AudienceSamples(
+            matrix=matrix,
+            floor=self._api.platform.reach_floor,
+            user_ids=tuple(user.user_id for user in self._panel),
+        )
+
+    def collect_stream(
+        self,
+        strategy: SelectionStrategy,
+        *,
+        executor: ShardExecutor | None = None,
+        backend: str | None = None,
+        workers: int = 1,
+        shard_size: int | None = None,
+    ) -> Iterator[AudienceSamples]:
+        """Stream the collection as per-shard :class:`AudienceSamples` blocks.
+
+        A generator yielding one block per shard, in panel-row order; block
+        rows concatenated equal :meth:`collect`'s matrix bit-for-bit and
+        every block is padded to ``max_interests`` columns, so a mergeable
+        accumulator (:class:`~repro.core.quantiles.AudienceAccumulator`)
+        can absorb them without ever materialising the full users x N
+        sample matrix.  Ordering metadata and rate-limit accounting are
+        resolved up front on first iteration — the merged bill of all
+        shards is settled in one step before any audience is computed,
+        matching the fused pass (with ``auto_wait=False`` the stream raises
+        before yielding anything) — after which only one audience block at
+        a time is alive on the serial backend, while pooled runners compute
+        blocks ahead of consumption.  ``call_stats`` records each shard's
+        calls as its block is yielded; a stream abandoned midway leaves the
+        settled tokens spent but later shards' calls unrecorded.
+        """
+        executor = self._resolve_executor(executor, backend, workers, shard_size)
+        runner = executor.runner()
+        jobs = self._plan_shard_jobs(strategy, executor, runner)
+        self._api.settle_reach_bill(CallBill.merged([job.bill for job in jobs]))
+        floor = self._api.platform.reach_floor
+        user_ids = tuple(user.user_id for user in self._panel)
+        tasks = [job.task for job in jobs if job.task is not None]
+        results = runner.stream(run_reach_shard, tasks)
+        for job in jobs:
+            block = np.full((job.shard.size, self._max_interests), np.nan, dtype=float)
+            if job.task is not None:
+                values = next(results)
+                block[:, : values.shape[1]] = values
+            self._api.record_reach_bill(job.bill)
+            yield AudienceSamples(
+                matrix=block,
+                floor=floor,
+                user_ids=user_ids[job.shard.start : job.shard.stop],
+            )
+
+    def _resolve_executor(
+        self,
+        executor: ShardExecutor | None,
+        backend: str | None,
+        workers: int,
+        shard_size: int | None,
+    ) -> ShardExecutor:
+        if executor is not None:
+            if backend is not None or workers != 1 or shard_size is not None:
+                raise ModelError(
+                    "pass either an executor or the loose backend/workers/"
+                    "shard_size knobs, not both"
+                )
+            return executor
+        if backend is None:
+            backend = "thread" if workers > 1 else "serial"
+        return ShardExecutor(backend=backend, workers=workers, shard_size=shard_size)
+
+    def _plan_shard_jobs(
+        self,
+        strategy: SelectionStrategy,
+        executor: ShardExecutor,
+        runner,
+    ) -> list[_ShardJob]:
+        """Order, validate and bill every shard (no tokens spent yet).
+
+        Per-shard ordering is bit-identical to the global pass (every row
+        depends only on its own user) and — like the per-shard kernels —
+        faster than one fused sweep at scale because each shard's sort
+        stays cache-resident.
+        """
+        payload = shard_backend_payload(self._api.backend, runner)
+        floor = self._api.platform.reach_floor
+        users = self._panel.users
+        catalog = self._panel.catalog
+        jobs: list[_ShardJob] = []
+        for shard in executor.plan(len(users)):
+            ids, counts = ordered_interest_matrix(
+                strategy, users[shard.start : shard.stop], catalog, self._max_interests
+            )
+            if ids.shape[1]:
+                ids, counts, locations = self._api.validate_reach_matrix(
+                    ids, counts, locations=self._locations
+                )
+                task = ReachShardTask(
+                    backend=payload,
+                    id_matrix=ids,
+                    counts=counts,
+                    locations=locations,
+                    floor=floor,
+                )
+            else:
+                task = None
+            jobs.append(
+                _ShardJob(
+                    shard=shard,
+                    bill=self._api.reach_matrix_bill(counts),
+                    task=task,
+                )
+            )
+        return jobs
 
     def collect_for_users(
         self,

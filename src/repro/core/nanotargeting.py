@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from .._rng import SeedLike, as_generator, derive_generator
 from ..adsapi import AdsManagerAPI, TargetingSpec
 from ..config import ExperimentConfig
@@ -171,6 +173,16 @@ class NanotargetingExperiment:
         return self._config
 
     @property
+    def api(self) -> AdsManagerAPI:
+        """The Ads API this experiment launches its campaigns through.
+
+        Countermeasure evaluations must install rules on *this* API's
+        policy (see :func:`repro.countermeasures.run_protected_experiment`)
+        — mutating a different instance's policy would not affect the run.
+        """
+        return self._api
+
+    @property
     def click_log(self) -> ClickLog:
         """The shared web-server click log."""
         return self._click_log
@@ -229,6 +241,45 @@ class NanotargetingExperiment:
         prefix = self._api.backend.prefix_audiences(longest, None)
         return {size: float(prefix[size - 1]) for size in sizes}
 
+    def plan_audiences_panel(
+        self, interest_sets_per_target: Sequence[dict[int, tuple[int, ...]]]
+    ) -> list[dict[int, float]]:
+        """Raw audiences for *every* target's campaigns in one matrix sweep.
+
+        Stacks each target's largest nested set into one padded id matrix
+        and resolves all campaign audiences with a single row-parallel
+        prefix kernel call — the bulk kernel behind
+        :meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_matrix`, without
+        the reporting floor since delivery consumes raw audiences.  Row
+        ``t`` is bit-identical to :meth:`plan_audiences` for target ``t``.
+        """
+        plans = [dict(sets) for sets in interest_sets_per_target]
+        if not plans:
+            return []
+        longest_rows = []
+        for sets in plans:
+            sizes = sorted(sets)
+            if not sizes:
+                longest_rows.append(())
+                continue
+            longest = sets[sizes[-1]]
+            for size in sizes:
+                if sets[size] != longest[:size]:
+                    raise ModelError(
+                        "interest sets must be nested prefixes of the largest set"
+                    )
+            longest_rows.append(longest)
+        from .selection import pad_id_rows
+
+        ids, counts = pad_id_rows(longest_rows)
+        if ids.shape[1] == 0:
+            return [{} for _ in plans]
+        prefix = self._api.backend.prefix_audiences_panel(ids, counts, None)
+        return [
+            {size: float(prefix[row, size - 1]) for size in sorted(sets)}
+            for row, sets in enumerate(plans)
+        ]
+
     def build_campaign(
         self, target: SyntheticUser, target_label: str, interests: Sequence[int]
     ) -> Campaign:
@@ -261,10 +312,15 @@ class NanotargetingExperiment:
             targets = self.select_targets(candidates)
         records: list[CampaignRecord] = []
         raw_audiences: list[float] = []
+        # Plan every target's interest sets first so all campaign audiences
+        # resolve through one bulk prefix sweep instead of one backend
+        # round-trip per target.
+        interest_sets_per_target = [self.plan_interest_sets(t) for t in targets]
+        audiences_per_target = self.plan_audiences_panel(interest_sets_per_target)
         for index, target in enumerate(targets):
             label = f"User {index + 1}"
-            interest_sets = self.plan_interest_sets(target)
-            audiences = self.plan_audiences(interest_sets)
+            interest_sets = interest_sets_per_target[index]
+            audiences = audiences_per_target[index]
             for n_interests in self._config.interest_counts:
                 campaign = self.build_campaign(target, label, interest_sets[n_interests])
                 record = self._run_campaign(
@@ -289,7 +345,10 @@ class NanotargetingExperiment:
         audience: float | None = None,
     ) -> CampaignRecord:
         try:
-            self._api.authorize_campaign(campaign.spec)
+            # The planned audience (when present) came off the bulk prefix
+            # kernel and is bit-identical to the scalar lookup authorize
+            # would otherwise issue.
+            self._api.authorize_campaign(campaign.spec, raw_audience=audience)
         except CampaignRejectedError as exc:
             return CampaignRecord(
                 target_label=label,

@@ -152,6 +152,25 @@ def _pack_ordered_rows(
     return matrix, counts
 
 
+def pad_id_rows(rows: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack ragged ordered id rows into the padded bulk-kernel layout.
+
+    Returns ``(id_matrix, counts)`` in the convention every bulk kernel
+    consumes (``-1`` padding, ``width = max(counts)``; see
+    :func:`ordered_interest_matrix`).  This is the entry point for callers
+    whose rows are already ordered — the countermeasure workload evaluation
+    and the nanotargeting planner — so the padding convention lives in one
+    place.
+    """
+    counts = np.array([len(row) for row in rows], dtype=np.int64)
+    flat = np.fromiter(
+        (int(i) for row in rows for i in row),
+        dtype=np.int64,
+        count=int(counts.sum()),
+    )
+    return _pack_ordered_rows(flat, counts, counts)
+
+
 def ordered_interest_matrix(
     strategy: SelectionStrategy,
     users: Sequence[SyntheticUser],

@@ -16,6 +16,18 @@ confidence intervals with the vectorised
 :func:`~repro.core.bootstrap.bootstrap_cutpoints`.  All tiers are
 bit-identical; the panel tier is several times faster again at paper scale
 (see ``benchmarks/bench_perf_hot_paths.py``).
+
+On top of the tiers sits the sharded execution layer (:mod:`repro.exec`):
+pass a :class:`~repro.exec.ShardExecutor` to run collection shard-parallel
+(:meth:`UniquenessModel.collect` / :meth:`UniquenessModel.estimate` with
+``executor=...``), or set ``stream=True`` to run the whole collection →
+quantiles → bootstrap chain through the mergeable
+:class:`~repro.core.quantiles.AudienceAccumulator` without ever
+materialising the users × N sample matrix.  Every route returns
+bit-identical estimates.  Collected samples are cached per
+``(strategy, tier)`` — a refreshed panel-tier result is never silently
+served to a caller that asked for a different tier — and
+:meth:`UniquenessModel.cache_clear` drops the cache wholesale.
 """
 
 from __future__ import annotations
@@ -26,11 +38,17 @@ from .._rng import derive_generator
 from ..adsapi import AdsManagerAPI
 from ..config import UniquenessConfig
 from ..errors import ModelError
+from ..exec import ShardExecutor, drain
 from ..fdvt.panel import FDVTPanel
 from .bootstrap import bootstrap_cutpoints, percentile_interval
 from .collection import AudienceSizeCollector
 from .fitting import fit_vas
-from .quantiles import AudienceSamples, probability_to_percentile
+from .quantiles import (
+    AudienceAccumulator,
+    AudienceSamples,
+    StreamedAudienceSamples,
+    probability_to_percentile,
+)
 from .results import NPEstimate, UniquenessReport
 from .selection import SelectionStrategy, strategy_fingerprint
 
@@ -55,7 +73,9 @@ class UniquenessModel:
         self._collector = AudienceSizeCollector(
             api, panel, max_interests=max_interests, locations=locations
         )
-        self._cache: dict[int, AudienceSamples] = {}
+        self._cache: dict[
+            tuple[int, tuple], AudienceSamples | StreamedAudienceSamples
+        ] = {}
 
     @property
     def config(self) -> UniquenessConfig:
@@ -69,12 +89,72 @@ class UniquenessModel:
 
     # -- data collection -----------------------------------------------------------
 
-    def collect(self, strategy: SelectionStrategy, *, refresh: bool = False) -> AudienceSamples:
-        """Collect (or return cached) audience samples for one strategy."""
-        key = strategy_fingerprint(strategy)
+    def collect(
+        self,
+        strategy: SelectionStrategy,
+        *,
+        refresh: bool = False,
+        mode: str | None = None,
+        executor: ShardExecutor | None = None,
+    ) -> AudienceSamples:
+        """Collect (or return cached) audience samples for one strategy.
+
+        ``mode`` picks a collection tier (``"panel"`` by default) and
+        ``executor`` routes collection through the sharded execution layer
+        instead; the two are mutually exclusive.  Results are cached per
+        ``(strategy, tier)``: all tiers return bit-identical samples, but a
+        caller that asked for a specific tier or shard plan never gets a
+        result silently served from a different one (and ``refresh`` only
+        refreshes its own tier's entry).
+        """
+        if mode is not None and executor is not None:
+            raise ModelError("pass either mode or executor, not both")
+        if executor is not None:
+            tier: tuple = ("sharded", *executor.fingerprint)
+        else:
+            tier = (mode or "panel",)
+        key = (strategy_fingerprint(strategy), tier)
         if refresh or key not in self._cache:
-            self._cache[key] = self._collector.collect(strategy)
+            if executor is not None:
+                samples: AudienceSamples = self._collector.collect_sharded(
+                    strategy, executor=executor
+                )
+            else:
+                samples = self._collector.collect(strategy, mode=mode)
+            self._cache[key] = samples
         return self._cache[key]
+
+    def collect_streamed(
+        self,
+        strategy: SelectionStrategy,
+        *,
+        refresh: bool = False,
+        executor: ShardExecutor | None = None,
+    ) -> StreamedAudienceSamples:
+        """Collect via the streaming path into a mergeable accumulator.
+
+        Per-shard blocks from
+        :meth:`~repro.core.collection.AudienceSizeCollector.collect_stream`
+        drain into an :class:`~repro.core.quantiles.AudienceAccumulator`;
+        the finalized column store answers quantile and bootstrap queries
+        bit-identically to the materialised tiers without the full users × N
+        matrix ever existing.  Cached per ``(strategy, shard plan)`` like
+        the other tiers.
+        """
+        executor = executor or ShardExecutor()
+        key = (strategy_fingerprint(strategy), ("stream", *executor.fingerprint))
+        if refresh or key not in self._cache:
+            self._cache[key] = drain(
+                self._collector.collect_stream(strategy, executor=executor),
+                AudienceAccumulator(),
+            )
+        samples = self._cache[key]
+        assert isinstance(samples, StreamedAudienceSamples)
+        return samples
+
+    def cache_clear(self) -> None:
+        """Drop every cached collection (all strategies, all tiers)."""
+        self._cache.clear()
 
     # -- estimation -------------------------------------------------------------------
 
@@ -83,15 +163,27 @@ class UniquenessModel:
         strategy: SelectionStrategy,
         *,
         probabilities: Sequence[float] | None = None,
-        samples: AudienceSamples | None = None,
+        samples: AudienceSamples | StreamedAudienceSamples | None = None,
+        executor: ShardExecutor | None = None,
+        stream: bool = False,
     ) -> UniquenessReport:
-        """Estimate N_P for every requested probability under one strategy."""
+        """Estimate N_P for every requested probability under one strategy.
+
+        With ``executor`` the collection stage runs shard-parallel; with
+        ``stream=True`` it additionally streams per-shard blocks into the
+        mergeable accumulator so collection → quantiles → bootstrap never
+        hold the full sample matrix.  Every route is bit-identical.
+        """
         if probabilities is None:
             probabilities = self._config.probabilities
         probabilities = tuple(probabilities)
         if not probabilities:
             raise ModelError("at least one probability is required")
-        samples = samples if samples is not None else self.collect(strategy)
+        if samples is None:
+            if stream:
+                samples = self.collect_streamed(strategy, executor=executor)
+            else:
+                samples = self.collect(strategy, executor=executor)
         percentiles = [probability_to_percentile(p) for p in probabilities]
         vas_rows = samples.vas_many(percentiles)
         bootstrap_seed = derive_generator(

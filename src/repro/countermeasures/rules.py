@@ -12,12 +12,20 @@ The paper proposes two easily implementable platform-side rules:
   which also closes the PII-based Custom Audience loopholes.
 
 Both implement the :class:`repro.adsapi.CampaignRule` protocol and can be
-attached to a platform policy.
+attached to a platform policy.  Each additionally provides an
+``evaluate_matrix`` kernel — the vectorised counterpart of ``evaluate``
+over a whole campaign workload at once (one boolean rejection mask from
+per-campaign interest counts and audiences), which is what lets
+:func:`repro.countermeasures.evaluate_workload_impact` ride the bulk reach
+kernels instead of looping rules per campaign.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..adsapi.targeting import TargetingSpec
 from ..errors import ConfigurationError
@@ -45,6 +53,15 @@ class InterestCapRule:
             )
         return None
 
+    def evaluate_matrix(
+        self,
+        interest_counts: Sequence[int] | np.ndarray,
+        raw_audiences: Sequence[float] | np.ndarray,
+        active_audiences: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`evaluate`: True where a campaign is rejected."""
+        return np.asarray(interest_counts, dtype=np.int64) > self.max_interests
+
 
 @dataclass(frozen=True)
 class MinActiveAudienceRule:
@@ -69,6 +86,15 @@ class MinActiveAudienceRule:
                 f"minimum of {self.min_active_users}"
             )
         return None
+
+    def evaluate_matrix(
+        self,
+        interest_counts: Sequence[int] | np.ndarray,
+        raw_audiences: Sequence[float] | np.ndarray,
+        active_audiences: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`evaluate`: True where a campaign is rejected."""
+        return np.asarray(active_audiences, dtype=float) < self.min_active_users
 
 
 def recommended_rules() -> tuple[InterestCapRule, MinActiveAudienceRule]:

@@ -1,0 +1,63 @@
+"""Sharded, streaming execution layer for panel-scale measurements.
+
+The heavy stages of the reproduction — the users × 25 Potential Reach sweep
+and everything downstream of it — are embarrassingly row-parallel: every
+panel user's prefix family is independent of every other user's.  This
+package turns that observation into an explicit execution layer, shaped
+like a staged pipeline (plans → shards → sinks) instead of monolithic
+collect calls:
+
+* :class:`~repro.exec.plan.ExecutionPlan` partitions a panel into
+  contiguous row :class:`~repro.exec.plan.Shard`\\ s;
+* :class:`~repro.exec.runner.ShardRunner` backends execute the per-shard
+  work — :class:`~repro.exec.runner.SerialRunner` in the calling thread,
+  :class:`~repro.exec.runner.ThreadRunner` on a thread pool,
+  :class:`~repro.exec.runner.ProcessRunner` on a process pool (shard tasks
+  carry a :class:`~repro.reach.ReachModelSpec` instead of the live model so
+  they stay picklable and workers rebuild the model from config + seed);
+* :class:`~repro.exec.sink.Sink`\\ s consume per-shard result blocks as they
+  stream out, so downstream aggregation (the mergeable
+  :class:`~repro.core.quantiles.AudienceAccumulator`) never needs the whole
+  result at once;
+* :class:`~repro.exec.executor.ShardExecutor` bundles a backend choice, a
+  worker count and a shard-size policy into the single handle the
+  measurement stack (``AudienceSizeCollector.collect_sharded`` /
+  ``collect_stream``, ``UniquenessModel``, the countermeasure evaluation,
+  the CLI) threads through.
+
+Sharding is not only a multi-core story: even single-threaded, per-shard
+ordering and kernels beat the fused whole-panel pass because the working
+set of one shard stays cache-resident (see
+``benchmarks/bench_perf_hot_paths.py``).  Every sharded path is pinned
+bit-identical — samples *and* rate-limit accounting — to the fused panel
+tier by ``tests/test_exec_sharding.py``.
+"""
+
+from .executor import DEFAULT_SHARD_ROWS, ShardExecutor
+from .plan import ExecutionPlan, Shard
+from .runner import (
+    ProcessRunner,
+    SerialRunner,
+    ShardRunner,
+    ThreadRunner,
+    make_runner,
+)
+from .sink import Sink, drain
+from .tasks import ReachShardTask, run_reach_shard, shard_backend_payload
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "ExecutionPlan",
+    "ProcessRunner",
+    "ReachShardTask",
+    "SerialRunner",
+    "Shard",
+    "ShardExecutor",
+    "ShardRunner",
+    "Sink",
+    "ThreadRunner",
+    "drain",
+    "make_runner",
+    "run_reach_shard",
+    "shard_backend_payload",
+]

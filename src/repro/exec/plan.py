@@ -1,0 +1,113 @@
+"""Execution plans: partitioning row-parallel work into contiguous shards.
+
+A plan describes *what* gets split, independently of *how* it runs: it maps
+``n_rows`` rows of row-independent work (panel users, workload campaigns,
+bootstrap replicates) onto an ordered tuple of contiguous
+:class:`Shard`\\ s.  Contiguity matters — shard results concatenated in
+shard order reproduce the unsharded row order, which is what keeps every
+sharded path bit-identical to its fused counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """One contiguous ``[start, stop)`` row range of an execution plan."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("shard index must be non-negative")
+        if not 0 <= self.start <= self.stop:
+            raise ConfigurationError("shard bounds must satisfy 0 <= start <= stop")
+
+    @property
+    def size(self) -> int:
+        """Number of rows covered by this shard."""
+        return self.stop - self.start
+
+    @property
+    def rows(self) -> slice:
+        """The shard's row range as a slice object."""
+        return slice(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """An ordered, gap-free partition of ``n_rows`` rows into shards."""
+
+    n_rows: int
+    shards: tuple[Shard, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0:
+            raise ConfigurationError("n_rows must be non-negative")
+        cursor = 0
+        for index, shard in enumerate(self.shards):
+            if shard.index != index or shard.start != cursor:
+                raise ConfigurationError(
+                    "shards must be contiguous, ordered and gap-free"
+                )
+            cursor = shard.stop
+        if cursor != self.n_rows:
+            raise ConfigurationError("shards must cover exactly n_rows rows")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    @property
+    def max_shard_rows(self) -> int:
+        """Rows in the largest shard (0 for an empty plan)."""
+        return max((shard.size for shard in self.shards), default=0)
+
+    @classmethod
+    def partition(
+        cls,
+        n_rows: int,
+        *,
+        n_shards: int | None = None,
+        shard_size: int | None = None,
+    ) -> "ExecutionPlan":
+        """Partition ``n_rows`` rows into balanced contiguous shards.
+
+        Exactly one sizing policy applies: ``shard_size`` caps the rows per
+        shard (the shard count follows), otherwise ``n_shards`` asks for a
+        fixed number of shards (defaulting to 1).  Either way the shard
+        count is clamped to ``n_rows`` so no shard is ever empty, and sizes
+        differ by at most one row.
+        """
+        if n_rows < 0:
+            raise ConfigurationError("n_rows must be non-negative")
+        if shard_size is not None:
+            if n_shards is not None:
+                raise ConfigurationError(
+                    "pass either n_shards or shard_size, not both"
+                )
+            if shard_size < 1:
+                raise ConfigurationError("shard_size must be >= 1")
+            n_shards = -(-n_rows // shard_size)
+        elif n_shards is None:
+            n_shards = 1
+        if n_shards < 1 and n_rows > 0:
+            raise ConfigurationError("n_shards must be >= 1")
+        n_shards = max(1, min(n_shards, n_rows)) if n_rows else 0
+        shards = []
+        base, extra = divmod(n_rows, n_shards) if n_shards else (0, 0)
+        cursor = 0
+        for index in range(n_shards):
+            size = base + (1 if index < extra else 0)
+            shards.append(Shard(index=index, start=cursor, stop=cursor + size))
+            cursor += size
+        return cls(n_rows=n_rows, shards=tuple(shards))

@@ -1,0 +1,32 @@
+"""Streaming sinks: consumers of per-shard result blocks.
+
+A sink receives result blocks one shard at a time and reduces them into a
+final value, so a streamed collection never has to buffer every block.  The
+protocol is deliberately tiny — ``update`` per block, ``finalize`` once —
+and matches the mergeable :class:`~repro.core.quantiles.AudienceAccumulator`
+that feeds quantiles and the bootstrap from streamed blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can absorb per-shard blocks and produce a result."""
+
+    def update(self, block: Any) -> Any:
+        """Absorb one block (returns self or None)."""
+        ...  # pragma: no cover - protocol definition
+
+    def finalize(self) -> Any:
+        """Produce the final reduced value after the last block."""
+        ...  # pragma: no cover - protocol definition
+
+
+def drain(blocks: Iterable[Any], sink: Sink) -> Any:
+    """Feed every block of a stream into ``sink`` and finalize it."""
+    for block in blocks:
+        sink.update(block)
+    return sink.finalize()

@@ -22,9 +22,10 @@ from .core import (
     UniquenessModel,
 )
 from .delivery import ClickLog, DeliveryEngine
+from .exec import ShardExecutor
 from .fdvt import FDVTExtension, FDVTPanel, PanelBuilder
 from .population import InterestAssigner
-from .reach import StatisticalReachModel, country_codes
+from .reach import ReachModelSpec, StatisticalReachModel, country_codes
 from .simclock import SimClock
 
 
@@ -73,6 +74,23 @@ class Simulation:
             RandomSelection(seed=derive_seed(self.config.uniqueness.seed, "random-strategy")),
         )
 
+    def executor(
+        self,
+        *,
+        backend: str = "serial",
+        workers: int = 1,
+        shard_size: int | None = None,
+    ) -> ShardExecutor:
+        """A :class:`~repro.exec.ShardExecutor` for panel-scale fan-outs.
+
+        The handle threads through ``UniquenessModel`` /
+        ``AudienceSizeCollector.collect_sharded`` / ``collect_stream`` and
+        the countermeasure evaluation; every backend and worker count
+        returns bit-identical results, so the choice is purely about
+        hardware.
+        """
+        return ShardExecutor(backend=backend, workers=workers, shard_size=shard_size)
+
 
 def build_simulation(
     config: ReproductionConfig | None = None, *, seed: int | None = None
@@ -92,7 +110,14 @@ def build_simulation(
     )
 
     catalog = InterestCatalog.generate(config.catalog, seed=catalog_seed)
-    reach_model = StatisticalReachModel(catalog, config.reach)
+    # The spec lets process-pool shard workers rebuild this exact model from
+    # config + seed instead of unpickling the whole catalog.
+    reach_spec = ReachModelSpec(
+        catalog_config=config.catalog,
+        reach_config=config.reach,
+        catalog_seed=None if catalog_seed is None else int(catalog_seed),
+    )
+    reach_model = StatisticalReachModel(catalog, config.reach, spec=reach_spec)
     uniqueness_api = AdsManagerAPI(
         reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
     )

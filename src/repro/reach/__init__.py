@@ -14,13 +14,14 @@ from .countries import (
     total_user_base,
 )
 from .jitter import combination_seed, lognormal_jitter, prefix_seeds
-from .model import StatisticalReachModel
+from .model import ReachModelSpec, StatisticalReachModel
 
 __all__ = [
     "CalibrationResult",
     "Country",
     "FB_WORLDWIDE_MAU_2020",
     "ReachBackend",
+    "ReachModelSpec",
     "StatisticalReachModel",
     "combination_seed",
     "lognormal_jitter",

@@ -64,13 +64,14 @@ bit-identical to the per-user and scalar paths.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from .._rng import stable_hash
 from ..catalog import InterestCatalog
-from ..config import ReachModelConfig
+from ..config import CatalogConfig, ReachModelConfig
 from ..errors import ConfigurationError, UnknownInterestError
 from .backend import ReachBackend
 from .countries import location_fraction, total_user_base
@@ -85,6 +86,40 @@ from .jitter import (
 _SCALAR_CACHE_SIZE = 4096
 
 
+@dataclass(frozen=True)
+class ReachModelSpec:
+    """Everything needed to rebuild a :class:`StatisticalReachModel`.
+
+    The sharded execution layer's process workers cannot cheaply ship a
+    live model (its catalog holds one object per interest); instead a shard
+    task carries this frozen, hashable spec and each worker rebuilds — and
+    memoises — the model from config + seed.  Catalog generation and the
+    jitter key are fully deterministic, so a rebuilt model returns
+    bit-identical audiences to the original (pinned by
+    ``tests/test_exec_sharding.py``).
+    """
+
+    catalog_config: CatalogConfig
+    reach_config: ReachModelConfig
+    catalog_seed: int | None = None
+    catalog_world_population: float = 1_500_000_000.0
+    world_population: float | None = None
+
+    def build(self) -> "StatisticalReachModel":
+        """Rebuild the model this spec describes."""
+        catalog = InterestCatalog.generate(
+            self.catalog_config,
+            world_population=self.catalog_world_population,
+            seed=self.catalog_seed,
+        )
+        return StatisticalReachModel(
+            catalog,
+            self.reach_config,
+            world_population=self.world_population,
+            spec=self,
+        )
+
+
 class StatisticalReachModel(ReachBackend):
     """Audience-size model over the paper's 1.5B-user base."""
 
@@ -94,9 +129,11 @@ class StatisticalReachModel(ReachBackend):
         config: ReachModelConfig | None = None,
         *,
         world_population: float | None = None,
+        spec: ReachModelSpec | None = None,
     ) -> None:
         self._catalog = catalog
         self._config = config or ReachModelConfig()
+        self._spec = spec
         if world_population is None:
             self._world = float(total_user_base())
         else:
@@ -127,6 +164,11 @@ class StatisticalReachModel(ReachBackend):
     def config(self) -> ReachModelConfig:
         """The reach-model configuration."""
         return self._config
+
+    @property
+    def spec(self) -> ReachModelSpec | None:
+        """A rebuildable spec for this model, when it was built from one."""
+        return self._spec
 
     @property
     def correlation_alpha(self) -> float:
@@ -365,17 +407,23 @@ class StatisticalReachModel(ReachBackend):
     def _ensure_catalog_arrays(self) -> None:
         if self._sorted_ids is not None:
             return
-        self._sorted_ids = self._catalog.interest_ids
+        sorted_ids = self._catalog.interest_ids
         audiences = self._catalog.all_audience_sizes().astype(float)
-        self._marginal_array = np.minimum(1.0, audiences / self._world)
+        marginal_array = np.minimum(1.0, audiences / self._world)
         codes: dict[str, int] = {}
-        topic_codes = np.empty(len(self._sorted_ids), dtype=np.int64)
+        topic_codes = np.empty(len(sorted_ids), dtype=np.int64)
         # Catalog iteration yields interests in ascending id order, matching
         # the sorted id / audience arrays.
         for index, interest in enumerate(self._catalog):
             topic_codes[index] = codes.setdefault(interest.topic, len(codes))
+        # Publish the guard attribute (_sorted_ids) last: concurrent shard
+        # kernels on a thread runner may race into this builder, and under
+        # the GIL the worst case must be a redundant rebuild of identical
+        # arrays, never a half-initialised view.
+        self._marginal_array = marginal_array
         self._topic_codes = topic_codes
         self._n_topic_codes = len(codes)
+        self._sorted_ids = sorted_ids
 
     def _positions(self, ids: np.ndarray) -> np.ndarray:
         """Positions of ``ids`` in the id-indexed catalog arrays."""
