@@ -19,6 +19,9 @@ the hot paths industrialised by the batched pipeline —
 * **estimation** (quantiles + log-log fits + confidence intervals),
 * the **bootstrap** (vectorised resampling + ``fit_vas_many`` vs the
   per-replicate Python loop),
+* the **scenario sweep** (an 8-spec grid through ``repro.scenarios``'s
+  ``SweepRunner`` vs the same studies hand-wired, measuring the
+  orchestration layer's per-scenario overhead),
 
 — verifies that the tiers agree bit-for-bit, and appends the timings to a
 ``BENCH_perf.json`` trajectory file so future PRs can track the speedup.
@@ -57,6 +60,7 @@ from repro.exec import ShardExecutor, drain
 from repro.fdvt import FDVTExtension, FDVTPanel
 from repro.population import SyntheticUser
 from repro.reach import country_codes
+from repro.scenarios import ScenarioSpec, SweepRunner, expand_grid
 from repro.simclock import SimClock
 
 #: Scale divisor matching benchmarks/conftest.py's mid-scale simulation.
@@ -263,6 +267,54 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
         f"{streamed_bootstrap_identical}"
     )
 
+    print("scenario sweep (8-spec grid vs hand-wired studies):")
+    sweep_bootstrap = min(n_bootstrap, 100)
+    base_spec = ScenarioSpec(
+        name="bench-uniqueness",
+        study="uniqueness",
+        factor=factor,
+        probabilities=(0.9,),
+        n_bootstrap=sweep_bootstrap,
+    )
+    grid = expand_grid(
+        base_spec,
+        {"seed": [1, 2, 3, 4], "strategies": [("least_popular",), ("random",)]},
+    )
+
+    def hand_wired_grid() -> dict[str, float]:
+        """The same eight studies, wired by hand (the pre-scenario style)."""
+        values: dict[str, float] = {}
+        for spec in grid:
+            grid_simulation = build_simulation(spec.config(), seed=spec.seed)
+            model = grid_simulation.uniqueness_model()
+            least_popular, random_selection = grid_simulation.strategies()
+            chosen = (
+                least_popular
+                if spec.strategies == ("least_popular",)
+                else random_selection
+            )
+            report = model.estimate(chosen, probabilities=(0.9,))
+            values[spec.name] = report.estimates[0.9].n_p
+        return values
+
+    handwired_sweep_s, handwired_values = _timed(
+        "hand-wired (direct model calls)", hand_wired_grid
+    )
+    scenario_sweep_s, sweep_results = _timed(
+        "SweepRunner (scenario layer)", lambda: SweepRunner().run(grid)
+    )
+    scenario_overhead = scenario_sweep_s / handwired_sweep_s - 1.0
+    sweep_identical = bool(
+        len(sweep_results) == len(grid)
+        and all(
+            sweep_results.get(spec.name).metric(f"{spec.strategies[0]}:n_p@0.9")
+            == handwired_values[spec.name]
+            for spec in grid
+        )
+    )
+    print(f"  sweep results bit-identical: {sweep_identical}")
+    print(f"  orchestration overhead: {scenario_overhead:+.1%} per sweep")
+
     print("end-to-end estimation (collect cached):")
     model = UniquenessModel(
         fresh_api(),
@@ -305,6 +357,7 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
         "n_bootstrap": n_bootstrap,
         "n_risk_report_users": len(risk_users),
         "n_tiled_users": len(simulation.panel) * shard_tiles,
+        "n_sweep_scenarios": len(grid),
         "shard_executor": executor.describe(),
         "timings_seconds": {
             "collect_panel": panel_collect_s,
@@ -318,6 +371,8 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "risk_reports_scalar": risk_scalar_s,
             "bootstrap_vectorised": vector_bootstrap_s,
             "bootstrap_scalar_reference": scalar_bootstrap_s,
+            "scenario_sweep": scenario_sweep_s,
+            "scenario_handwired": handwired_sweep_s,
             "estimate": estimate_s,
         },
         "speedups": {
@@ -328,6 +383,7 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "risk_reports": risk_scalar_s / risk_batch_s,
             "bootstrap": scalar_bootstrap_s / vector_bootstrap_s,
             "collect_plus_bootstrap": speedup,
+            "scenario_overhead": scenario_overhead,
         },
         "parity": {
             "collection_bit_identical": collection_identical,
@@ -336,6 +392,7 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "streamed_bootstrap_bit_identical": streamed_bootstrap_identical,
             "risk_reports_identical": risk_identical,
             "bootstrap_bit_identical": bootstrap_identical,
+            "scenario_sweep_identical": sweep_identical,
         },
         "sample_cutpoints": {
             str(probability): estimate.n_p
@@ -387,6 +444,13 @@ def main() -> int:
         default=None,
         help="panel tiling factor for the sharded-collection stage",
     )
+    parser.add_argument(
+        "--max-scenario-overhead",
+        type=float,
+        default=None,
+        help="exit non-zero when the scenario layer's per-sweep orchestration "
+        "overhead (sweep time / hand-wired time - 1) exceeds this fraction",
+    )
     args = parser.parse_args()
 
     factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
@@ -431,6 +495,14 @@ def main() -> int:
             print(
                 f"FAIL: sharded-vs-fused gain {achieved:.2f}x < required "
                 f"{args.min_shard_gain:.2f}x"
+            )
+            failed = True
+    if args.max_scenario_overhead is not None:
+        achieved = record["speedups"]["scenario_overhead"]
+        if achieved > args.max_scenario_overhead:
+            print(
+                f"FAIL: scenario overhead {achieved:+.1%} > allowed "
+                f"{args.max_scenario_overhead:+.1%}"
             )
             failed = True
     if not all(record["parity"].values()):

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Platform countermeasures: stop nanotargeting without hurting advertisers.
 
-Reproduces the Section 8.3 argument in three steps:
+Reproduces the Section 8.3 argument as a three-scenario sweep:
 
-1. run the nanotargeting experiment on the unprotected platform (baseline);
-2. re-run it with the two proposed rules enabled — audiences capped at 9
-   interests and a minimum active audience of 1,000 users;
-3. measure how many campaigns of a realistic benign advertiser workload the
-   interest cap would reject (the paper expects fewer than 1%).
+1. ``baseline``  — the nanotargeting attack on the permissive 2020 platform;
+2. ``protected`` — the same attack (same seed, hence the same targets) with
+   the two proposed rules installed: audiences capped at 9 interests and a
+   minimum active audience of 1,000 users;
+3. ``workload``  — the fraction of a realistic benign advertiser workload
+   the interest cap would reject (the paper expects fewer than 1%).
+
+All three are declarative specs fanned through one
+:class:`~repro.scenarios.SweepRunner` — the same shard-runner backends the
+collection layer uses.
 
 Run with::
 
@@ -16,62 +21,51 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PlatformConfig, build_simulation, quick_config
-from repro.adsapi import AdsManagerAPI
-from repro.campaigns import AdvertiserWorkloadGenerator
-from repro.core import NanotargetingExperiment
-from repro.countermeasures import (
-    evaluate_attack_protection,
-    evaluate_workload_impact,
-    recommended_rules,
-    run_protected_experiment,
+from repro.scenarios import ScenarioSpec, SweepRunner
+
+SEED = 5
+FACTOR = 20
+
+SPECS = (
+    ScenarioSpec(
+        name="baseline", study="nanotargeting", factor=FACTOR, seed=SEED,
+    ),
+    ScenarioSpec(
+        name="protected", study="nanotargeting", factor=FACTOR, seed=SEED,
+        countermeasures=("interest_cap:9", "min_active_audience:1000"),
+    ),
+    ScenarioSpec(
+        name="workload", study="workload_impact", factor=FACTOR, seed=SEED,
+        workload_size=1_000, countermeasures=("interest_cap:9",),
+    ),
 )
-from repro.delivery import DeliveryEngine
-from repro.simclock import SimClock
 
 
 def main() -> None:
-    simulation = build_simulation(quick_config(factor=20))
-    engine = DeliveryEngine(simulation.catalog, seed=1)
-    config = simulation.config.experiment
+    results = SweepRunner().run(SPECS)
+    baseline, protected, workload = (results.get(s.name) for s in SPECS)
 
-    # Baseline: the permissive 2020 platform.
-    baseline_api = AdsManagerAPI(
-        simulation.reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
-    )
-    baseline_experiment = NanotargetingExperiment(baseline_api, engine, config, seed=5)
-    targets = baseline_experiment.select_targets(simulation.panel.users)
-    baseline = baseline_experiment.run(targets)
     print(
-        f"Baseline platform: {baseline.success_count} of {baseline.n_campaigns} "
-        f"campaigns nanotargeted their user "
-        f"(total cost €{baseline.total_cost_eur():.2f})."
+        f"Baseline platform: {baseline.metric('success_count'):.0f} of "
+        f"{baseline.metric('n_campaigns'):.0f} campaigns nanotargeted their user "
+        f"(total cost €{baseline.metric('total_cost_eur'):.2f})."
     )
-
-    # Protected platform: the same attack with the two rules installed.
-    protected_api = AdsManagerAPI(
-        simulation.reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
+    baseline_successes = baseline.metric("success_count")
+    reduction = (
+        1.0 - protected.metric("success_count") / baseline_successes
+        if baseline_successes
+        else 0.0
     )
-    protected_experiment = NanotargetingExperiment(protected_api, engine, config, seed=5)
-    protected = run_protected_experiment(
-        protected_api, engine, targets, list(recommended_rules()),
-        experiment=protected_experiment,
-    )
-    effectiveness = evaluate_attack_protection(baseline, protected)
     print(
-        f"Protected platform: {protected.success_count} successful campaigns, "
-        f"{effectiveness.rejected_campaigns} rejected outright "
-        f"({effectiveness.attack_reduction:.0%} attack reduction)."
+        f"Protected platform: {protected.metric('success_count'):.0f} successful "
+        f"campaigns, {protected.metric('rejected_campaigns'):.0f} rejected outright "
+        f"({reduction:.0%} attack reduction)."
     )
-
-    # Advertiser impact of the interest cap.
-    interest_cap, _ = recommended_rules()
-    workload = AdvertiserWorkloadGenerator(simulation.catalog).generate(1_000, seed=9)
-    impact = evaluate_workload_impact(protected_api, workload, [interest_cap])
     print(
-        f"Benign workload impact: {impact.rejected_campaigns} of "
-        f"{impact.total_campaigns} campaigns rejected by the 9-interest cap "
-        f"({impact.rejection_rate:.2%}; the paper expects < 1%)."
+        f"Benign workload impact: {workload.metric('rejected_campaigns'):.0f} of "
+        f"{workload.metric('total_campaigns'):.0f} campaigns rejected by the "
+        f"9-interest cap ({workload.metric('rejection_rate'):.2%}; "
+        f"the paper expects < 1%)."
     )
 
 

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """FDVT defence: inspect and clean a user's risky interests (Section 6).
 
-Shows the "Risks of my FB interests" view for one synthetic panellist:
-interests sorted from least to most popular, colour-coded by privacy risk,
-and one-click removal of the high-risk ones.  After the clean-up the script
-re-evaluates how narrow an audience an attacker could build from the user's
-remaining interests.
+The bulk view rides the ``fdvt-risk`` scenario: one declarative spec builds
+the simulation, fetches every covered panellist's "Risks of my FB
+interests" report through the deduplicated (and shardable) bulk query, and
+summarises the risk mix.  The second half keeps the interactive part of the
+story — one-click removal of the high-risk interests and how much harder
+the user becomes to single out afterwards.
 
 Run with::
 
@@ -14,18 +15,17 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_simulation, quick_config
+from dataclasses import replace
+
 from repro.adsapi import TargetingSpec
 from repro.analysis import format_table
 from repro.core import LeastPopularSelection
+from repro.fdvt import FDVTExtension
+from repro.scenarios import get_scenario, run_scenario
 
 
 def audience_of_rarest_interests(simulation, user, n_interests: int = 3) -> int:
-    """Potential Reach of the user's N rarest interests (attacker's view).
-
-    Uses the 2017 platform (reporting floor of 20 users, 50-country query)
-    so that small audiences stay visible in the output.
-    """
+    """Potential Reach of the user's N rarest interests (attacker's view)."""
     from repro.reach import country_codes
 
     ordered = LeastPopularSelection().order_interests(
@@ -36,28 +36,30 @@ def audience_of_rarest_interests(simulation, user, n_interests: int = 3) -> int:
 
 
 def main() -> None:
-    simulation = build_simulation(quick_config(factor=20))
-    extension = simulation.fdvt_extension()
+    spec = replace(get_scenario("fdvt-risk"), risk_users=40)
+    simulation = spec.compile()
+    result = run_scenario(spec, simulation=simulation)
+    print(result.summary[0])
+    print()
+    print("Risk mix per panellist (first rows):")
+    rows = [
+        [row["user_id"], row["interests"], row["red"], row["orange"], row["green"]]
+        for row in result.table[:8]
+    ]
+    print(format_table(["user", "interests", "red", "orange", "green"], rows))
 
-    # Pick a panellist with a moderate profile so the report stays readable.
+    # -- the interactive half: clean one panellist's preferences ---------------
+    extension = FDVTExtension(simulation.uniqueness_api, simulation.catalog)
     user = next(
         u for u in sorted(simulation.panel.users, key=lambda u: u.interest_count)
         if u.interest_count >= 40
     )
-    print(
-        f"Panellist #{user.user_id} ({user.country}): "
-        f"{user.interest_count} interests assigned by Facebook"
-    )
-
     report = extension.build_risk_report(user)
-    counts = report.risk_counts()
-    print(
-        "Risk breakdown: "
-        + ", ".join(f"{level.value}={count}" for level, count in counts.items())
-    )
-
     print()
-    print("Least popular interests (most dangerous first):")
+    print(
+        f"Panellist #{user.user_id} ({user.country}): {user.interest_count} "
+        f"interests; least popular first:"
+    )
     rows = [
         [entry.name[:42], entry.risk.value, f"{entry.audience_size:,}"]
         for entry in report.entries[:10]
@@ -65,14 +67,12 @@ def main() -> None:
     print(format_table(["interest", "risk", "audience"], rows))
 
     before = audience_of_rarest_interests(simulation, user)
+    protected_user, _ = extension.remove_risky_interests(user, report)
+    removed = user.interest_count - protected_user.interest_count
+    after = audience_of_rarest_interests(simulation, protected_user)
     print()
     print(f"Audience an attacker can build from the 3 rarest interests: {before:,} users")
-
-    protected_user, protected_report = extension.remove_risky_interests(user, report)
-    removed = user.interest_count - protected_user.interest_count
     print(f"Removed {removed} high-risk (red) interests with one click each.")
-
-    after = audience_of_rarest_interests(simulation, protected_user)
     print(
         f"After the clean-up the same attack reaches {after:,} users "
         f"(floor = {simulation.uniqueness_api.platform.reach_floor})."

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Nanotargeting experiment: deliver an ad to exactly one Facebook user.
 
-Reproduces Section 5: three "authors" are picked from the synthetic panel,
-and for each of them seven worldwide campaigns are configured with 5, 7, 9,
-12, 18, 20 and 22 randomly known interests (nested subsets).  Every campaign
-runs on the paper's 33-active-hour schedule with a ~10 EUR/day budget, and a
-campaign counts as a successful nanotargeting attack only when the dashboard
-reports exactly one user reached, the click log shows the target's click,
-and the captured "Why am I seeing this ad?" disclosure matches the
-configured audience.
+Reproduces Section 5 through the scenario layer: the registered
+``nanotargeting-table2`` spec picks three "authors" from the synthetic
+panel and, for each of them, runs seven worldwide campaigns with 5, 7, 9,
+12, 18, 20 and 22 randomly known interests (nested subsets) on the paper's
+33-active-hour schedule.  A campaign counts as a successful nanotargeting
+attack only when the dashboard reports exactly one user reached, the click
+log shows the target's click, and the captured "Why am I seeing this ad?"
+disclosure matches the configured audience.
 
 Run with::
 
@@ -17,27 +17,19 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_simulation, quick_config
+from dataclasses import replace
+
 from repro.analysis import format_records, format_table
+from repro.scenarios import get_scenario, run_scenario
 
 
 def main() -> None:
-    simulation = build_simulation(quick_config(factor=20))
-    experiment = simulation.nanotargeting_experiment(seed=2020)
+    spec = replace(get_scenario("nanotargeting-table2"), seed=2020)
+    result = run_scenario(spec)
+    report = result.raw  # the study's native ExperimentReport
 
-    targets = experiment.select_targets(simulation.panel.users)
-    print("Targets selected for the experiment:")
-    for index, target in enumerate(targets, start=1):
-        print(
-            f"  User {index}: panel user #{target.user_id} "
-            f"({target.interest_count} interests, {target.country})"
-        )
-
-    report = experiment.run(targets)
-
-    print()
     print("Table 2 — campaign outcomes")
-    print(format_records(report.table_rows()))
+    print(format_records(list(result.table)))
 
     print()
     print("Success rate by number of interests used:")
@@ -48,9 +40,8 @@ def main() -> None:
     print(format_table(["interests", "nanotargeting success"], rows))
 
     print()
-    print(f"Successful nanotargeting campaigns : {report.success_count} / {report.n_campaigns}")
-    print(f"Total advertising cost             : €{report.total_cost_eur():.2f}")
-    print(f"Cost of the successful campaigns   : €{report.successful_cost_eur():.2f}")
+    for line in result.summary:
+        print(line)
     if report.account_suspended:
         print(
             "The advertiser account was suspended after the campaigns ended — "

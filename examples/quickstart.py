@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Quickstart: how many interests make a Facebook user unique?
 
-Builds a scaled-down synthetic simulation (interest catalog, world-scale
-reach model, Ads Manager API, FDVT panel), runs the paper's uniqueness model
-for both interest-selection strategies and prints a Table-1-style summary.
+The whole study is one declarative :class:`~repro.scenarios.ScenarioSpec`:
+the scenario layer compiles it to a fully wired simulation (interest
+catalog, world-scale reach model, Ads Manager API, FDVT panel), runs the
+paper's uniqueness model through the uniform Experiment protocol and hands
+back a canonical result.  Swap any field — study, scale, strategies, API
+tier — and re-run; there is no wiring to touch.
 
 Run with::
 
@@ -12,33 +15,26 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_simulation, quick_config
 from repro.analysis import format_records
+from repro.scenarios import ScenarioSpec, run_scenario
 
 
 def main() -> None:
-    # A 1/20-scale configuration keeps the run under a minute; replace
-    # quick_config() with repro.default_config() for the full-scale study.
-    simulation = build_simulation(quick_config(factor=20))
-    print(
-        f"Simulation ready: {len(simulation.catalog):,} interests, "
-        f"{len(simulation.panel):,} FDVT panellists, "
-        f"world size {simulation.reach_model.world_size() / 1e9:.2f}B users"
+    # factor=20 keeps the run under a minute; factor=1 is the full-scale study.
+    spec = ScenarioSpec(
+        name="quickstart-uniqueness",
+        study="uniqueness",
+        description="Table 1 at 1/20 scale",
+        factor=20,
+        probabilities=(0.5, 0.9),
     )
+    result = run_scenario(spec)
 
-    model = simulation.uniqueness_model()
-    least_popular, random_selection = simulation.strategies()
-
-    rows = []
-    for strategy in (least_popular, random_selection):
-        report = model.estimate(strategy, probabilities=(0.5, 0.9))
-        rows.append(report.table_row())
-        for line in report.summary_lines():
-            print(line)
-
+    for line in result.summary:
+        print(line)
     print()
     print("Table 1 (reduced scale)")
-    print(format_records(rows))
+    print(format_records(list(result.table)))
     print()
     print(
         "Reading: N_P is the number of interests that make a user unique with "

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Full uniqueness study: Table 1, Figures 3-5 and the demographic breakdown.
 
-Reproduces the Section 4 analysis end to end:
+Reproduces the Section 4 analysis end to end.  Table 1 runs through the
+scenario layer — one declarative spec, compiled and executed via the
+uniform Experiment protocol — and the same compiled simulation then feeds
+the figure and demographic analyses:
 
 1. collect audience sizes from the simulated Ads Manager API for every
    panel user and every combination of 1..25 interests (both strategies);
@@ -24,40 +27,41 @@ import sys
 
 import numpy as np
 
-from repro import build_simulation, quick_config
-from repro.adsapi import AdsManagerAPI
 from repro.analysis import (
     demographic_bar_series,
     figures4_5_quantile_curves,
     format_records,
     format_table,
 )
-from repro.config import PlatformConfig, UniquenessConfig
-from repro.core import DemographicAnalysis, UniquenessModel
+from repro.config import UniquenessConfig
+from repro.core import DemographicAnalysis
 from repro.reach import country_codes
-from repro.simclock import SimClock
+from repro.scenarios import ScenarioSpec, UniquenessStudy, run_experiment
 
 
 def main(scale_factor: int = 12) -> None:
-    simulation = build_simulation(quick_config(factor=scale_factor))
-    api = AdsManagerAPI(
-        simulation.reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+    spec = ScenarioSpec(
+        name="uniqueness-study",
+        study="uniqueness",
+        factor=scale_factor,
+        seed=42,
+        n_bootstrap=500,
     )
-    config = UniquenessConfig(n_bootstrap=500, seed=42)
-    model = UniquenessModel(api, simulation.panel, config, locations=country_codes())
-    least_popular, random_selection = simulation.strategies()
+    simulation = spec.compile()
 
-    # -- Table 1 -----------------------------------------------------------
+    # -- Table 1, through the Experiment protocol ---------------------------
     print("Collecting audience sizes from the simulated Ads Manager API ...")
-    reports = {
-        strategy.name: model.estimate(strategy)
-        for strategy in (least_popular, random_selection)
-    }
+    study = UniquenessStudy(spec, simulation)
+    result = run_experiment(study)
     print()
     print("Table 1 — N_P with 95% CIs and R^2")
-    print(format_records([report.table_row() for report in reports.values()]))
+    print(format_records(list(result.table)))
 
     # -- Figures 4 and 5 -----------------------------------------------------
+    # The study's model already collected both strategies' matrices for
+    # Table 1; reusing it makes the figure curves cache hits.
+    model = study.model
+    least_popular, random_selection = simulation.strategies()
     for strategy, figure in ((least_popular, "Figure 4"), (random_selection, "Figure 5")):
         samples = model.collect(strategy)
         curves = figures4_5_quantile_curves(samples)
@@ -79,7 +83,7 @@ def main(scale_factor: int = 12) -> None:
 
     # -- Figures 8-10 ---------------------------------------------------------
     analysis = DemographicAnalysis(
-        api,
+        simulation.uniqueness_api,
         simulation.panel,
         strategies=[least_popular, random_selection],
         probability=0.9,

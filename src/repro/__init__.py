@@ -46,6 +46,15 @@ from .errors import (
     ReproError,
 )
 from .pipeline import Simulation, build_simulation
+from .scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    expand_grid,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+)
 from .simclock import SimClock
 
 __version__ = "1.0.0"
@@ -68,11 +77,18 @@ __all__ = [
     "ReachModelConfig",
     "ReproError",
     "ReproductionConfig",
+    "ScenarioSpec",
     "SimClock",
     "Simulation",
+    "SweepRunner",
     "UniquenessConfig",
     "__version__",
     "build_simulation",
     "default_config",
+    "expand_grid",
+    "get_scenario",
+    "list_scenarios",
     "quick_config",
+    "register_scenario",
+    "run_scenario",
 ]

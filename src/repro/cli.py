@@ -7,14 +7,19 @@ sub-command per stage of the paper:
 * ``uniqueness``       — Section 4: estimate N_P for both strategies (Table 1);
 * ``nanotargeting``    — Section 5: run the 21-campaign experiment (Table 2);
 * ``fdvt-report``      — Section 6: print one panellist's interest-risk view;
-* ``countermeasures``  — Section 8.3: evaluate the proposed platform rules.
+* ``countermeasures``  — Section 8.3: evaluate the proposed platform rules;
+* ``scenario``         — the declarative orchestration layer
+  (:mod:`repro.scenarios`): ``scenario list`` prints the registry,
+  ``scenario run NAME`` runs one registered spec (with overrides), and
+  ``scenario sweep NAME --grid field=v1,v2 ...`` expands a grid and fans it
+  across the shard-runner backends.
 
 Every sub-command accepts ``--factor`` (the scale divisor applied to the
 paper-scale configuration; 1 reproduces the full-scale study) and ``--seed``.
-The heavy commands (``uniqueness``, ``countermeasures``) additionally take
-``--workers`` / ``--exec-backend`` to run their panel-scale sweeps through
-the sharded execution layer (:mod:`repro.exec`); results are bit-identical
-for every backend and worker count.
+The heavy commands (``uniqueness``, ``countermeasures``, ``scenario``)
+additionally take ``--workers`` / ``--exec-backend`` to run their
+panel-scale sweeps through the sharded execution layer (:mod:`repro.exec`);
+results are bit-identical for every backend and worker count.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
@@ -40,7 +46,18 @@ from .io import (
     save_panel,
     uniqueness_report_to_dict,
 )
+from .errors import ConfigurationError
 from .pipeline import Simulation
+from .exec import ShardExecutor
+from .scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    expand_grid,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
+from .scenarios.sweep import coerce_axis_value
 
 
 def _build(args: argparse.Namespace) -> Simulation:
@@ -57,6 +74,17 @@ def _executor_from_args(simulation: Simulation, args: argparse.Namespace):
     return simulation.executor(
         backend=backend or ("thread" if workers > 1 else "serial"),
         workers=workers,
+    )
+
+
+def _scenario_executor(args: argparse.Namespace) -> ShardExecutor | None:
+    """Like :func:`_executor_from_args`, without needing a simulation."""
+    workers = getattr(args, "workers", 1)
+    backend = getattr(args, "exec_backend", None)
+    if workers == 1 and backend is None:
+        return None
+    return ShardExecutor(
+        backend=backend or ("thread" if workers > 1 else "serial"), workers=workers
     )
 
 
@@ -177,6 +205,75 @@ def cmd_countermeasures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    """Print every registered scenario spec."""
+    rows = [
+        [spec.name, spec.study, f"factor={spec.factor}", spec.description]
+        for spec in list_scenarios()
+    ]
+    print(format_table(["scenario", "study", "scale", "description"], rows))
+    return 0
+
+
+def _parse_grid(entries: Sequence[str]) -> dict[str, list]:
+    """``field=v1,v2`` CLI entries into :func:`expand_grid` axes.
+
+    Value coercion is delegated to
+    :func:`repro.scenarios.sweep.coerce_axis_value`, which derives types
+    from the ScenarioSpec schema itself.
+    """
+    axes: dict[str, list] = {}
+    for entry in entries:
+        field, separator, values = entry.partition("=")
+        if not separator or not values:
+            raise SystemExit(f"--grid expects field=v1,v2,..., got {entry!r}")
+        try:
+            axes[field] = [
+                coerce_axis_value(field, token) for token in values.split(",")
+            ]
+        except (ConfigurationError, ValueError) as exc:
+            raise SystemExit(f"--grid {entry!r}: {exc}") from None
+    return axes
+
+
+def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioSpec:
+    spec = get_scenario(args.name)
+    overrides = {}
+    if args.factor is not None:
+        overrides["factor"] = args.factor
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return replace(spec, **overrides) if overrides else spec
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Run one registered scenario through the Experiment protocol."""
+    spec = _scenario_with_overrides(args)
+    result = run_scenario(spec, executor=_scenario_executor(args))
+    print(f"scenario {result.scenario} ({result.study}, seed={result.seed})")
+    for line in result.summary:
+        print(f"  {line}")
+    print(format_records([{"scenario": result.scenario, **result.metrics_dict}]))
+    _write_json(args.output, result.to_dict())
+    return 0
+
+
+def cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    """Expand a grid over one scenario and fan it across the runner backends."""
+    base = _scenario_with_overrides(args)
+    specs = expand_grid(base, _parse_grid(args.grid))
+    executor = _scenario_executor(args) or ShardExecutor()
+    runner = SweepRunner(executor=executor, seed=args.sweep_seed)
+    results = runner.run(specs)
+    print(
+        f"swept {len(results)} scenarios on {executor.describe()} "
+        f"(sweep seed: {args.sweep_seed})"
+    )
+    print(format_records(results.table_rows()))
+    _write_json(args.output, {"scenarios": results.to_dicts()})
+    return 0
+
+
 # -- parser ---------------------------------------------------------------------------
 
 
@@ -256,6 +353,52 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec(countermeasures)
     countermeasures.add_argument("--workload-size", type=int, default=500)
     countermeasures.set_defaults(handler=cmd_countermeasures)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="declarative scenario orchestration (repro.scenarios)"
+    )
+    scenario_subs = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_subs.add_parser("list", help="print the scenario registry")
+    scenario_list.set_defaults(handler=cmd_scenario_list)
+
+    def add_scenario_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("name", help="registered scenario name (see `scenario list`)")
+        sub.add_argument(
+            "--factor", type=int, default=None, help="override the spec's scale divisor"
+        )
+        sub.add_argument(
+            "--seed", type=int, default=None, help="override the spec's seed"
+        )
+        add_exec(sub)
+        sub.add_argument("--output", default=None, help="write the results as JSON")
+
+    scenario_run = scenario_subs.add_parser(
+        "run", help="run one registered scenario"
+    )
+    add_scenario_common(scenario_run)
+    scenario_run.set_defaults(handler=cmd_scenario_run)
+
+    scenario_sweep = scenario_subs.add_parser(
+        "sweep", help="expand a grid over one scenario and run it sharded"
+    )
+    add_scenario_common(scenario_sweep)
+    scenario_sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2",
+        help="one grid axis (repeatable); tuple fields join elements with '+', "
+        "e.g. --grid strategies=least_popular+random,random --grid seed=1,2,3",
+    )
+    scenario_sweep.add_argument(
+        "--sweep-seed",
+        type=int,
+        default=None,
+        help="derive per-scenario seeds from this base (specs with explicit "
+        "seeds keep them)",
+    )
+    scenario_sweep.set_defaults(handler=cmd_scenario_sweep)
 
     return parser
 

@@ -263,6 +263,20 @@ class ReproductionConfig:
     uniqueness: UniquenessConfig = field(default_factory=UniquenessConfig)
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
 
+    def with_panel_users(self, n_users: int) -> "ReproductionConfig":
+        """Return a copy whose panel holds ``n_users`` users.
+
+        Gender and age quotas are rescaled proportionally (rounded, with
+        the undisclosed groups absorbing the remainder), keeping the
+        paper's panel composition intact at any size.  This is the panel
+        population knob of declarative scenario specs
+        (:class:`repro.scenarios.ScenarioSpec`).
+        """
+        if n_users < 1:
+            raise ConfigurationError("n_users must be >= 1")
+        panel = _rescale_panel(self.panel, n_users)
+        return replace(self, panel=panel)
+
     def scaled_down(self, factor: int = 20) -> "ReproductionConfig":
         """Return a copy sized for quick tests and examples.
 
@@ -272,27 +286,7 @@ class ReproductionConfig:
         """
         if factor < 1:
             raise ConfigurationError("factor must be >= 1")
-        n_users = max(20, self.panel.n_users // factor)
-        n_men = round(n_users * self.panel.n_men / self.panel.n_users)
-        n_women = round(n_users * self.panel.n_women / self.panel.n_users)
-        n_und = n_users - n_men - n_women
-        n_adol = round(n_users * self.panel.n_adolescents / self.panel.n_users)
-        n_early = round(n_users * self.panel.n_early_adults / self.panel.n_users)
-        n_adult = round(n_users * self.panel.n_adults / self.panel.n_users)
-        n_mature = round(n_users * self.panel.n_matures / self.panel.n_users)
-        n_age_und = n_users - n_adol - n_early - n_adult - n_mature
-        panel = replace(
-            self.panel,
-            n_users=n_users,
-            n_men=n_men,
-            n_women=n_women,
-            n_gender_undisclosed=n_und,
-            n_adolescents=n_adol,
-            n_early_adults=n_early,
-            n_adults=n_adult,
-            n_matures=n_mature,
-            n_age_undisclosed=n_age_und,
-        )
+        panel = _rescale_panel(self.panel, max(20, self.panel.n_users // factor))
         catalog = replace(
             self.catalog, n_interests=max(500, self.catalog.n_interests // factor)
         )
@@ -309,6 +303,30 @@ class ReproductionConfig:
             uniqueness=uniqueness,
             population=population,
         )
+
+
+def _rescale_panel(panel: PanelConfig, n_users: int) -> PanelConfig:
+    """A copy of ``panel`` with ``n_users`` users and proportional quotas."""
+    n_men = round(n_users * panel.n_men / panel.n_users)
+    n_women = round(n_users * panel.n_women / panel.n_users)
+    n_und = n_users - n_men - n_women
+    n_adol = round(n_users * panel.n_adolescents / panel.n_users)
+    n_early = round(n_users * panel.n_early_adults / panel.n_users)
+    n_adult = round(n_users * panel.n_adults / panel.n_users)
+    n_mature = round(n_users * panel.n_matures / panel.n_users)
+    n_age_und = n_users - n_adol - n_early - n_adult - n_mature
+    return replace(
+        panel,
+        n_users=n_users,
+        n_men=n_men,
+        n_women=n_women,
+        n_gender_undisclosed=n_und,
+        n_adolescents=n_adol,
+        n_early_adults=n_early,
+        n_adults=n_adult,
+        n_matures=n_mature,
+        n_age_undisclosed=n_age_und,
+    )
 
 
 def default_config() -> ReproductionConfig:

@@ -18,7 +18,7 @@ from .quantiles import (
     masked_column_quantiles,
     probability_to_percentile,
 )
-from .results import NPEstimate, UniquenessReport
+from .results import NPEstimate, ResultSet, ScenarioResult, UniquenessReport
 from .selection import (
     LeastPopularSelection,
     RandomSelection,
@@ -47,6 +47,8 @@ __all__ = [
     "NPEstimate",
     "NanotargetingExperiment",
     "RandomSelection",
+    "ResultSet",
+    "ScenarioResult",
     "SelectionStrategy",
     "StreamedAudienceSamples",
     "SuccessValidation",

@@ -32,6 +32,18 @@ column store, so the whole collection → quantiles → bootstrap chain can run
 off accumulated per-shard blocks without ever materialising the users x N
 matrix.  Both stores gather bit-identical resample stacks, hence
 bit-identical cutpoint distributions.
+
+Sharded execution
+-----------------
+With an ``executor`` (:class:`~repro.exec.ShardExecutor`), the replicate
+chunks fan out across the same :class:`~repro.exec.runner.ShardRunner`
+backends as collection: the index matrices are still drawn sequentially
+from one generator (so the draw stream — and hence every cutpoint — is
+bit-identical for every backend, worker count and chunk size), only the
+pure per-chunk gather + quantile + fit work runs on the runner, and chunk
+results are reassembled in draw order.  The sharded route materialises all
+index chunks up front (``n_bootstrap × n_users`` int64), which the serial
+route avoids by drawing and discarding per chunk.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ import numpy as np
 
 from .._rng import SeedLike, as_generator
 from ..errors import ModelError
+from ..exec import ShardExecutor
 from .fitting import fit_vas_many
 from .quantiles import (
     AudienceSamples,
@@ -89,6 +102,33 @@ def percentile_interval(values: Sequence[float], level: float) -> ConfidenceInte
     return ConfidenceInterval(low=float(low), high=float(high), level=level)
 
 
+@dataclass(frozen=True)
+class _BootstrapChunkTask:
+    """One replicate chunk: the sample store, quantiles and drawn indices."""
+
+    samples: AudienceSamples | StreamedAudienceSamples
+    q_percents: tuple[float, ...]
+    indices: np.ndarray
+
+
+def _run_bootstrap_chunk(task: _BootstrapChunkTask) -> np.ndarray:
+    """Gather, quantile and fit one chunk; returns a (n_q, chunk) array.
+
+    Pure compute over inputs fixed at draw time — chunk results do not
+    depend on which worker (or process) evaluates them, which is what keeps
+    the sharded bootstrap bit-identical across backends and worker counts.
+    """
+    resampled = task.samples.take_rows(task.indices)
+    with np.errstate(all="ignore"):
+        vas_rows = masked_column_quantiles(resampled, task.q_percents)
+    return np.stack(
+        [
+            fit_vas_many(replicate_rows, task.samples.floor).cutpoints
+            for replicate_rows in vas_rows
+        ]
+    )
+
+
 def bootstrap_cutpoints(
     samples: AudienceSamples | StreamedAudienceSamples,
     q_percents: Sequence[float],
@@ -96,6 +136,7 @@ def bootstrap_cutpoints(
     n_bootstrap: int,
     seed: SeedLike = None,
     chunk_size: int | None = None,
+    executor: ShardExecutor | None = None,
 ) -> dict[float, np.ndarray]:
     """Bootstrap distributions of the N_P cutpoint for several quantiles.
 
@@ -108,26 +149,54 @@ def bootstrap_cutpoints(
     chunk, stream-identical to a single up-front draw) and the replicate
     quantiles and log-log fits are evaluated in vectorised chunks
     (``chunk_size`` replicates at a time, sized automatically to bound
-    transient memory when not given).
+    transient memory when not given; an ``executor`` with an explicit
+    ``shard_size`` overrides the automatic sizing).  With ``executor`` the
+    chunks run on its :class:`~repro.exec.runner.ShardRunner` backend —
+    results are bit-identical for every backend, worker count and chunk
+    size because the draws happen before dispatch and each chunk's
+    computation is chunk-local.
     """
     if n_bootstrap < 1:
         raise ModelError("n_bootstrap must be >= 1")
     rng = as_generator(seed)
-    qs = [float(q) for q in q_percents]
+    qs = tuple(float(q) for q in q_percents)
     n_users, width = samples.n_users, samples.max_interests
     if chunk_size is None:
-        chunk_size = max(1, min(n_bootstrap, _CHUNK_BUDGET // max(1, n_users * width)))
+        if executor is not None and executor.shard_size is not None:
+            chunk_size = executor.shard_size
+        else:
+            chunk_size = max(
+                1, min(n_bootstrap, _CHUNK_BUDGET // max(1, n_users * width))
+            )
     results = {q: np.empty(n_bootstrap, dtype=float) for q in qs}
-    for start in range(0, n_bootstrap, chunk_size):
-        count = min(chunk_size, n_bootstrap - start)
-        # Drawing per chunk keeps peak memory O(chunk); the concatenated
-        # stream is identical to one up-front (n_bootstrap, n_users) draw,
-        # so results do not depend on the chunk size.
-        chunk = rng.integers(0, n_users, size=(count, n_users))
-        resampled = samples.take_rows(chunk)  # (chunk, n_users, width)
-        with np.errstate(all="ignore"):
-            vas_rows = masked_column_quantiles(resampled, qs)
-        for q, replicate_rows in zip(qs, vas_rows):
-            fits = fit_vas_many(replicate_rows, samples.floor)
-            results[q][start : start + chunk.shape[0]] = fits.cutpoints
+    starts = range(0, n_bootstrap, chunk_size)
+    # Drawing per chunk keeps peak memory O(chunk); the concatenated
+    # stream is identical to one up-front (n_bootstrap, n_users) draw,
+    # so results do not depend on the chunk size.
+    if executor is None:
+        for start in starts:
+            count = min(chunk_size, n_bootstrap - start)
+            chunk = rng.integers(0, n_users, size=(count, n_users))
+            cutpoints = _run_bootstrap_chunk(
+                _BootstrapChunkTask(samples=samples, q_percents=qs, indices=chunk)
+            )
+            for q, row in zip(qs, cutpoints):
+                results[q][start : start + chunk.shape[0]] = row
+        return results
+    # Sharded route: draw every chunk first (sequentially, preserving the
+    # stream), then fan the pure chunk work out to the runner and reassemble
+    # in draw order.
+    tasks = [
+        _BootstrapChunkTask(
+            samples=samples,
+            q_percents=qs,
+            indices=rng.integers(
+                0, n_users, size=(min(chunk_size, n_bootstrap - start), n_users)
+            ),
+        )
+        for start in starts
+    ]
+    for start, cutpoints in zip(starts, executor.runner().run(_run_bootstrap_chunk, tasks)):
+        for q, row in zip(qs, cutpoints):
+            results[q][start : start + row.size] = row
     return results

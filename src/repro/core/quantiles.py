@@ -263,22 +263,56 @@ class StreamedAudienceSamples:
         """Reconstruct ``matrix[row_indices]`` from the column store.
 
         The result is a dense gathered block (transient, sized by the
-        caller's chunking) — the full matrix itself is never built.  Within
-        column ``k`` the sample of user ``u`` sits at position
-        ``rank_k(u)``, the number of earlier rows with more than ``k``
-        valid samples; both the membership mask and the ranks come from one
-        ``cumsum`` over the prefix lengths per column.
+        caller's chunking) — the full matrix itself is never built.  The
+        gather is fused: a position table maps every (user, column) cell to
+        its offset in the concatenated column values (with one trailing
+        ``NaN`` sentinel for the cells past each user's prefix), so a block
+        is one row-take on the table plus one value-take — no per-column
+        Python loop, no per-call rank recomputation.  Within column ``k``
+        the sample of user ``u`` sits at position ``rank_k(u)``, the number
+        of earlier rows with more than ``k`` valid samples; the table bakes
+        those ranks in once and is reused by every subsequent gather (the
+        bootstrap calls this per replicate chunk).
         """
         indices = np.asarray(row_indices, dtype=np.intp)
-        flat = indices.reshape(-1)
-        gathered = np.full((flat.size, self.max_interests), np.nan)
-        for k, column in enumerate(self.columns):
-            member = self.row_counts > k
-            ranks = np.cumsum(member) - 1
-            selected = member[flat]
-            if selected.any():
-                gathered[selected, k] = column[ranks[flat[selected]]]
+        values, positions = self._gather_table()
+        gathered = values[positions.take(indices.reshape(-1), axis=0)]
         return gathered.reshape(*indices.shape, self.max_interests)
+
+    def _gather_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """The fused-gather lookup: (extended values, per-cell positions).
+
+        Built lazily once per store.  ``positions[u, k]`` indexes the
+        concatenated column values, or the trailing ``NaN`` sentinel when
+        user ``u`` has no sample for column ``k``.  The table costs
+        ``n_users × max_interests`` int32/intp cells — a deliberate
+        memory-for-time trade that is still well below the dense float
+        matrix and is amortised across every bootstrap chunk.
+        """
+        cached = self.__dict__.get("_gather_cache")
+        if cached is None:
+            width = self.max_interests
+            sizes = np.fromiter(
+                (column.size for column in self.columns), dtype=np.int64, count=width
+            )
+            total = int(sizes.sum())
+            offsets = np.zeros(width, dtype=np.int64)
+            np.cumsum(sizes[:-1], out=offsets[1:])
+            member = self.row_counts[:, None] > np.arange(width)[None, :]
+            ranks = np.cumsum(member, axis=0) - 1
+            dtype = np.int32 if total + 1 <= np.iinfo(np.int32).max else np.intp
+            positions = np.where(
+                member, ranks + offsets[None, :], total
+            ).astype(dtype, copy=False)
+            values = np.empty(total + 1, dtype=float)
+            cursor = 0
+            for column in self.columns:
+                values[cursor : cursor + column.size] = column
+                cursor += column.size
+            values[total] = np.nan
+            cached = (values, positions)
+            object.__setattr__(self, "_gather_cache", cached)
+        return cached
 
     def to_samples(self) -> AudienceSamples:
         """Materialise the dense :class:`AudienceSamples` (debug/parity aid)."""

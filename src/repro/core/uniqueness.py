@@ -169,10 +169,12 @@ class UniquenessModel:
     ) -> UniquenessReport:
         """Estimate N_P for every requested probability under one strategy.
 
-        With ``executor`` the collection stage runs shard-parallel; with
-        ``stream=True`` it additionally streams per-shard blocks into the
-        mergeable accumulator so collection → quantiles → bootstrap never
-        hold the full sample matrix.  Every route is bit-identical.
+        With ``executor`` both heavy stages run shard-parallel — collection
+        over panel-row shards and the bootstrap over replicate chunks on the
+        same runner backend; with ``stream=True`` collection additionally
+        streams per-shard blocks into the mergeable accumulator so
+        collection → quantiles → bootstrap never hold the full sample
+        matrix.  Every route is bit-identical.
         """
         if probabilities is None:
             probabilities = self._config.probabilities
@@ -194,6 +196,7 @@ class UniquenessModel:
             percentiles,
             n_bootstrap=self._config.n_bootstrap,
             seed=bootstrap_seed,
+            executor=executor,
         )
         estimates = {}
         vas_curves = {}

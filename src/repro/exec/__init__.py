@@ -31,6 +31,13 @@ set of one shard stays cache-resident (see
 ``benchmarks/bench_perf_hot_paths.py``).  Every sharded path is pinned
 bit-identical — samples *and* rate-limit accounting — to the fused panel
 tier by ``tests/test_exec_sharding.py``.
+
+The layer carries more than collection: ``bootstrap_cutpoints`` fans its
+replicate chunks over the same runners, ``FDVTExtension.build_risk_reports``
+shards its deduplicated bulk query, and the scenario layer's
+:class:`~repro.scenarios.SweepRunner` partitions whole experiment grids
+with the same :class:`ExecutionPlan` machinery — one execution vocabulary
+from a single kernel block up to a multi-scenario sweep.
 """
 
 from .executor import DEFAULT_SHARD_ROWS, ShardExecutor

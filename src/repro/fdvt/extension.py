@@ -25,6 +25,8 @@ import numpy as np
 from ..adsapi import AdsManagerAPI, TargetingSpec
 from ..catalog import InterestCatalog
 from ..errors import PanelError
+from ..exec import ShardExecutor
+from ..exec.tasks import ReachShardTask, run_reach_shard, shard_backend_payload
 from ..population.user import SyntheticUser
 from ..reach.countries import country_codes
 from .interface import InterestRiskEntry, RiskReport
@@ -127,7 +129,10 @@ class FDVTExtension:
         return RiskReport(user_id=user.user_id, entries=tuple(entries))
 
     def build_risk_reports(
-        self, users: Sequence[SyntheticUser]
+        self,
+        users: Sequence[SyntheticUser],
+        *,
+        executor: "ShardExecutor | None" = None,
     ) -> tuple[RiskReport, ...]:
         """Risk reports for many users from one batched audience query.
 
@@ -135,9 +140,16 @@ class FDVTExtension:
         Potential Reach values fetched with one bulk
         :meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_matrix` call — one
         API request per *unique* interest instead of one per (user, interest)
-        occurrence.  Each returned report is identical to what
-        :meth:`build_risk_report` would build for that user; a user without
-        interests raises :class:`PanelError` exactly like the scalar path.
+        occurrence.  With an ``executor`` the deduplicated query rows fan
+        out over an :class:`~repro.exec.ExecutionPlan` instead: per-shard
+        reach blocks run on the runner backend and are merged back in shard
+        order, while the merged rate-limit bill is settled once — the same
+        validate → settle → compute → record decomposition sharded
+        collection uses, so reaches *and* accounting are bit-identical to
+        the fused call for every backend and worker count.  Each returned
+        report is identical to what :meth:`build_risk_report` would build
+        for that user; a user without interests raises :class:`PanelError`
+        exactly like the scalar path.
         """
         for user in users:
             if not user.interest_ids:
@@ -147,9 +159,12 @@ class FDVTExtension:
             return ()
         id_matrix = np.asarray(unique_ids, dtype=np.int64)[:, None]
         counts = np.ones(len(unique_ids), dtype=np.int64)
-        reaches = self._api.estimate_reach_matrix(
-            id_matrix, counts, locations=self.query_locations()
-        )
+        if executor is None:
+            reaches = self._api.estimate_reach_matrix(
+                id_matrix, counts, locations=self.query_locations()
+            )
+        else:
+            reaches = self._sharded_reach_matrix(id_matrix, counts, executor)
         audience_by_id = {
             interest_id: int(reach)
             for interest_id, reach in zip(unique_ids, reaches[:, 0])
@@ -163,6 +178,40 @@ class FDVTExtension:
             entries.sort(key=lambda entry: (entry.audience_size, entry.interest_id))
             reports.append(RiskReport(user_id=user.user_id, entries=tuple(entries)))
         return tuple(reports)
+
+    def _sharded_reach_matrix(
+        self,
+        id_matrix: np.ndarray,
+        counts: np.ndarray,
+        executor: ShardExecutor,
+    ) -> np.ndarray:
+        """The bulk reach query of :meth:`build_risk_reports`, sharded.
+
+        Validates once, settles the merged bill once, fans the pure kernel
+        blocks out to the executor's runner and records the bill afterwards
+        — the exact step order of ``estimate_reach_matrix``, so sharded
+        accounting matches the fused call bit-for-bit.
+        """
+        ids, counts, locations = self._api.validate_reach_matrix(
+            id_matrix, counts, locations=self.query_locations()
+        )
+        bill = self._api.reach_matrix_bill(counts)
+        self._api.settle_reach_bill(bill)
+        runner = executor.runner()
+        payload = shard_backend_payload(self._api.backend, runner)
+        tasks = [
+            ReachShardTask(
+                backend=payload,
+                id_matrix=ids[shard.rows],
+                counts=counts[shard.rows],
+                locations=locations,
+                floor=self._api.platform.reach_floor,
+            )
+            for shard in executor.plan(ids.shape[0])
+        ]
+        blocks = runner.run(run_reach_shard, tasks)
+        self._api.record_reach_bill(bill)
+        return np.concatenate(blocks, axis=0)
 
     def _risk_entry(self, interest_id: int, audience: int) -> InterestRiskEntry:
         interest = self._catalog.get(interest_id)

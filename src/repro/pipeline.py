@@ -5,6 +5,11 @@ the world-scale reach model, the simulated Ads API, the FDVT panel and a
 delivery engine.  :func:`build_simulation` wires them together from a single
 :class:`~repro.config.ReproductionConfig`, keeping every component consistent
 (same catalog, same seeds).
+
+This is also the compilation target of the declarative scenario layer:
+:meth:`repro.scenarios.ScenarioSpec.compile` resolves a spec to a config
+and calls :func:`build_simulation`, so scenario runs and hand-wired runs
+build byte-for-byte the same stack.
 """
 
 from __future__ import annotations

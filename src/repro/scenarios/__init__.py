@@ -1,0 +1,78 @@
+"""Scenario orchestration: declarative specs, a uniform Experiment protocol,
+and sharded sweeps over the execution layer.
+
+The paper's results are one family of experiments — uniqueness (Section 4),
+nanotargeting (Section 5), the FDVT risk reports (Section 6), the
+countermeasure evaluation (Section 8.3) — run over varying populations,
+strategies and platform configurations.  This package makes that family a
+first-class object:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` — a ~20-line declarative
+  description (study, scale, seed, strategies, API tier, locations,
+  countermeasure rules, delivery knobs) that compiles to a fully wired
+  :class:`~repro.pipeline.Simulation`;
+* the :class:`~repro.scenarios.experiments.Experiment` protocol
+  (``plan → execute(executor) → merge → summarize``) with thin adapters
+  binding each existing study implementation, all summarising into the
+  shared :class:`~repro.core.results.ScenarioResult`;
+* :class:`~repro.scenarios.sweep.SweepRunner` +
+  :func:`~repro.scenarios.sweep.expand_grid` — grids of specs fanned over
+  the same :class:`~repro.exec.runner.ShardRunner` backends as collection,
+  reducing into the mergeable :class:`~repro.core.results.ResultSet`
+  bit-identically for every backend and worker count;
+* the scenario registry (:func:`~repro.scenarios.registry.register_scenario`
+  et al.) behind the ``repro scenario list/run/sweep`` CLI.
+
+Adding the next scenario is a spec, not a module::
+
+    from repro.scenarios import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(
+        name="uniqueness-worldwide",
+        study="uniqueness",
+        factor=20,
+        seed=7,
+        strategies=("least_popular",),
+        probabilities=(0.9,),
+        api_tier="modern_2020",
+        locations="worldwide",
+    )
+    print(run_scenario(spec).summary)
+"""
+
+from .experiments import (
+    Experiment,
+    FDVTRiskStudy,
+    NanotargetingStudy,
+    UniquenessStudy,
+    WorkloadImpactStudy,
+    build_experiment,
+    parse_rules,
+    run_experiment,
+    run_scenario,
+)
+from .registry import get_scenario, list_scenarios, register_scenario
+from .spec import API_TIERS, LOCATION_MIXES, STRATEGY_NAMES, STUDIES, ScenarioSpec
+from .sweep import SweepRunner, expand_grid
+
+__all__ = [
+    "API_TIERS",
+    "Experiment",
+    "FDVTRiskStudy",
+    "LOCATION_MIXES",
+    "NanotargetingStudy",
+    "STRATEGY_NAMES",
+    "STUDIES",
+    "ScenarioSpec",
+    "SweepRunner",
+    "UniquenessStudy",
+    "WorkloadImpactStudy",
+    "build_experiment",
+    "expand_grid",
+    "get_scenario",
+    "list_scenarios",
+    "parse_rules",
+    "register_scenario",
+    "run_experiment",
+    "run_scenario",
+]

@@ -533,3 +533,159 @@ class TestWorkloadImpactKernel:
             assert (
                 minimum.evaluate(spec, raw[index], raw[index]) is not None
             ) == bool(minimum.evaluate_matrix(counts, raw, raw)[index])
+
+
+class TestShardedBootstrap:
+    """bootstrap_cutpoints replicate chunks over the runner backends."""
+
+    QS = (50.0, 90.0)
+
+    @pytest.fixture(scope="class")
+    def samples(self, simulation):
+        api = _fresh_api(simulation)
+        collector = AudienceSizeCollector(
+            api, simulation.panel, max_interests=8, locations=country_codes()
+        )
+        return collector.collect(RandomSelection(seed=13))
+
+    @pytest.fixture(scope="class")
+    def serial_cutpoints(self, samples):
+        return bootstrap_cutpoints(samples, self.QS, n_bootstrap=60, seed=3)
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            ShardExecutor(),
+            ShardExecutor(backend="thread", workers=2),
+            ShardExecutor(backend="thread", workers=4),
+            ShardExecutor(backend="thread", workers=2, shard_size=7),
+        ],
+        ids=["serial", "thread-2", "thread-4", "thread-2-chunk-7"],
+    )
+    def test_executor_parity(self, samples, serial_cutpoints, executor):
+        sharded = bootstrap_cutpoints(
+            samples, self.QS, n_bootstrap=60, seed=3, executor=executor
+        )
+        for q in self.QS:
+            assert np.array_equal(serial_cutpoints[q], sharded[q], equal_nan=True)
+
+    def test_chunk_size_does_not_change_results(self, samples, serial_cutpoints):
+        rechunked = bootstrap_cutpoints(
+            samples, self.QS, n_bootstrap=60, seed=3, chunk_size=11
+        )
+        for q in self.QS:
+            assert np.array_equal(serial_cutpoints[q], rechunked[q], equal_nan=True)
+
+    def test_streamed_store_parity(self, simulation, samples, serial_cutpoints):
+        api = _fresh_api(simulation)
+        collector = AudienceSizeCollector(
+            api, simulation.panel, max_interests=8, locations=country_codes()
+        )
+        streamed = drain(
+            collector.collect_stream(RandomSelection(seed=13)), AudienceAccumulator()
+        )
+        sharded = bootstrap_cutpoints(
+            streamed,
+            self.QS,
+            n_bootstrap=60,
+            seed=3,
+            executor=ShardExecutor(backend="thread", workers=3),
+        )
+        for q in self.QS:
+            assert np.array_equal(serial_cutpoints[q], sharded[q], equal_nan=True)
+
+    def test_estimate_threads_executor_into_bootstrap(self, simulation):
+        api = _fresh_api(simulation)
+        model = UniquenessModel(
+            api,
+            simulation.panel,
+            UniquenessConfig(max_interests=8, n_bootstrap=40, seed=21),
+            locations=country_codes(),
+        )
+        strategy = RandomSelection(seed=13)
+        plain = model.estimate(strategy, probabilities=(0.9,))
+        sharded = model.estimate(
+            strategy,
+            probabilities=(0.9,),
+            executor=ShardExecutor(backend="thread", workers=2),
+        )
+        assert plain.estimates[0.9] == sharded.estimates[0.9]
+
+
+class TestFusedStreamedGather:
+    """StreamedAudienceSamples.take_rows: the single-take gather kernel."""
+
+    @pytest.fixture(scope="class")
+    def stores(self, simulation):
+        api = _fresh_api(simulation)
+        collector = AudienceSizeCollector(
+            api, simulation.panel, max_interests=8, locations=country_codes()
+        )
+        dense = collector.collect(RandomSelection(seed=13))
+        streamed = drain(
+            collector.collect_stream(RandomSelection(seed=13)), AudienceAccumulator()
+        )
+        return dense, streamed
+
+    def test_row_blocks_match_dense_matrix(self, stores):
+        dense, streamed = stores
+        rng = np.random.default_rng(5)
+        for shape in ((4,), (3, 5), (2, 3, 4)):
+            indices = rng.integers(0, dense.n_users, size=shape)
+            assert np.array_equal(
+                streamed.take_rows(indices), dense.matrix[indices], equal_nan=True
+            )
+
+    def test_repeated_and_full_gathers(self, stores):
+        dense, streamed = stores
+        everyone = np.arange(dense.n_users)
+        assert np.array_equal(
+            streamed.take_rows(everyone), dense.matrix, equal_nan=True
+        )
+        # the cached table serves every subsequent gather
+        assert np.array_equal(
+            streamed.take_rows(everyone[::-1]), dense.matrix[::-1], equal_nan=True
+        )
+
+    def test_gather_table_is_cached(self, stores):
+        _, streamed = stores
+        streamed.take_rows(np.array([0]))
+        first = streamed._gather_table()
+        assert streamed._gather_table() is first
+
+
+class TestShardedRiskReports:
+    """FDVTExtension.build_risk_reports over an ExecutionPlan."""
+
+    @pytest.fixture(scope="class")
+    def users(self, simulation):
+        return list(simulation.panel)[:15]
+
+    @pytest.fixture(scope="class")
+    def reference_reports(self, simulation, users):
+        from repro.fdvt import FDVTExtension
+
+        api = _fresh_api(simulation)
+        extension = FDVTExtension(api, simulation.catalog)
+        return extension.build_risk_reports(users), _accounting(api)
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            ShardExecutor(),
+            ShardExecutor(backend="thread", workers=2),
+            ShardExecutor(backend="thread", workers=3, shard_size=5),
+        ],
+        ids=["serial", "thread-2", "thread-3-small-shards"],
+    )
+    def test_sharded_reports_and_accounting_parity(
+        self, simulation, users, reference_reports, executor
+    ):
+        from repro.fdvt import FDVTExtension
+
+        expected_reports, expected_accounting = reference_reports
+        api = _fresh_api(simulation)
+        extension = FDVTExtension(api, simulation.catalog)
+        reports = extension.build_risk_reports(users, executor=executor)
+        assert reports == expected_reports
+        assert _accounting(api) == expected_accounting
