@@ -44,6 +44,7 @@ import numpy as np
 
 from repro import build_simulation, quick_config
 from repro._rng import as_generator
+from repro.cache import build_cache
 from repro.adsapi import AdsManagerAPI
 from repro.config import PlatformConfig, UniquenessConfig
 from repro.core import (
@@ -300,8 +301,11 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
     handwired_sweep_s, handwired_values = _timed(
         "hand-wired (direct model calls)", hand_wired_grid
     )
+    # share_builds off: this stage measures pure orchestration overhead
+    # against hand-wired runs that each build their own simulation.
     scenario_sweep_s, sweep_results = _timed(
-        "SweepRunner (scenario layer)", lambda: SweepRunner().run(grid)
+        "SweepRunner (scenario layer)",
+        lambda: SweepRunner(share_builds=False).run(grid),
     )
     scenario_overhead = scenario_sweep_s / handwired_sweep_s - 1.0
     sweep_identical = bool(
@@ -314,6 +318,42 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
     )
     print(f"  sweep results bit-identical: {sweep_identical}")
     print(f"  orchestration overhead: {scenario_overhead:+.1%} per sweep")
+
+    print("sweep build cache (8-row analysis-knob-only grid):")
+    cache_grid = expand_grid(
+        ScenarioSpec(
+            name="bench-cache",
+            study="uniqueness",
+            factor=factor,
+            seed=20211102,
+            n_bootstrap=sweep_bootstrap,
+        ),
+        {
+            "strategies": [("least_popular",), ("random",)],
+            "probabilities": [(0.5,), (0.8,), (0.9,), (0.5, 0.9)],
+        },
+    )
+    uncached_sweep_s, uncached_results = _timed(
+        "uncached (one build per grid row)",
+        lambda: SweepRunner(share_builds=False).run(cache_grid),
+    )
+    build_cache().clear()
+    cached_sweep_s, cached_results = _timed(
+        "cached (fingerprint-shared builds)", lambda: SweepRunner().run(cache_grid)
+    )
+    cache_info = build_cache().cache_info()
+    sweep_cache_gain = (
+        uncached_sweep_s / cached_sweep_s if cached_sweep_s else float("inf")
+    )
+    sweep_cache_identical = bool(cached_results == uncached_results)
+    # One catalog + one panel miss for the whole grid = built exactly once.
+    sweep_cache_built_once = bool(cache_info.misses == 2)
+    print(f"  results bit-identical: {sweep_cache_identical}")
+    print(
+        f"  catalog+panel built once: {sweep_cache_built_once} "
+        f"(misses={cache_info.misses}, hits={cache_info.hits})"
+    )
+    print(f"  shared-build speedup: {sweep_cache_gain:.2f}x")
 
     print("end-to-end estimation (collect cached):")
     model = UniquenessModel(
@@ -373,6 +413,8 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "bootstrap_scalar_reference": scalar_bootstrap_s,
             "scenario_sweep": scenario_sweep_s,
             "scenario_handwired": handwired_sweep_s,
+            "sweep_cache_uncached": uncached_sweep_s,
+            "sweep_cache_cached": cached_sweep_s,
             "estimate": estimate_s,
         },
         "speedups": {
@@ -384,6 +426,7 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "bootstrap": scalar_bootstrap_s / vector_bootstrap_s,
             "collect_plus_bootstrap": speedup,
             "scenario_overhead": scenario_overhead,
+            "sweep_cache_gain": sweep_cache_gain,
         },
         "parity": {
             "collection_bit_identical": collection_identical,
@@ -393,6 +436,8 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "risk_reports_identical": risk_identical,
             "bootstrap_bit_identical": bootstrap_identical,
             "scenario_sweep_identical": sweep_identical,
+            "sweep_cache_identical": sweep_cache_identical,
+            "sweep_cache_built_once": sweep_cache_built_once,
         },
         "sample_cutpoints": {
             str(probability): estimate.n_p
@@ -451,6 +496,13 @@ def main() -> int:
         help="exit non-zero when the scenario layer's per-sweep orchestration "
         "overhead (sweep time / hand-wired time - 1) exceeds this fraction",
     )
+    parser.add_argument(
+        "--min-sweep-cache-gain",
+        type=float,
+        default=None,
+        help="exit non-zero unless the fingerprint-shared build cache beats "
+        "the uncached sweep by this factor on the analysis-knob-only grid",
+    )
     args = parser.parse_args()
 
     factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
@@ -495,6 +547,14 @@ def main() -> int:
             print(
                 f"FAIL: sharded-vs-fused gain {achieved:.2f}x < required "
                 f"{args.min_shard_gain:.2f}x"
+            )
+            failed = True
+    if args.min_sweep_cache_gain is not None:
+        achieved = record["speedups"]["sweep_cache_gain"]
+        if achieved < args.min_sweep_cache_gain:
+            print(
+                f"FAIL: sweep-cache gain {achieved:.2f}x < required "
+                f"{args.min_sweep_cache_gain:.2f}x"
             )
             failed = True
     if args.max_scenario_overhead is not None:

@@ -21,6 +21,7 @@ Quick start::
     print(report.summary_lines())
 """
 
+from .cache import BuildCache, CacheInfo, build_cache, stable_fingerprint
 from .config import (
     CatalogConfig,
     ExperimentConfig,
@@ -45,7 +46,16 @@ from .errors import (
     PopulationError,
     ReproError,
 )
-from .pipeline import Simulation, build_simulation
+from .pipeline import (
+    Simulation,
+    assemble_simulation,
+    build_catalog,
+    build_panel,
+    build_simulation,
+    catalog_fingerprint,
+    panel_fingerprint,
+    simulation_fingerprint,
+)
 from .scenarios import (
     ScenarioSpec,
     SweepRunner,
@@ -61,6 +71,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdsApiError",
+    "BuildCache",
+    "CacheInfo",
     "CalibrationError",
     "CatalogConfig",
     "CatalogError",
@@ -83,12 +95,20 @@ __all__ = [
     "SweepRunner",
     "UniquenessConfig",
     "__version__",
+    "assemble_simulation",
+    "build_cache",
+    "build_catalog",
+    "build_panel",
     "build_simulation",
+    "catalog_fingerprint",
     "default_config",
     "expand_grid",
     "get_scenario",
     "list_scenarios",
+    "panel_fingerprint",
     "quick_config",
     "register_scenario",
     "run_scenario",
+    "simulation_fingerprint",
+    "stable_fingerprint",
 ]

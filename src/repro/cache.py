@@ -1,0 +1,232 @@
+"""Content-addressed build cache for the expensive pipeline stages.
+
+Sweeps and test suites compile many :class:`~repro.pipeline.Simulation`\\ s
+whose grid rows often differ only in *analysis* knobs (strategies,
+probabilities, API tier, countermeasure rules) while the expensive build
+stages — catalog generation and panel assembly — are identical.  This
+module provides the two primitives that let those stages be shared:
+
+* :func:`stable_fingerprint` — the fingerprint contract.  A fingerprint is
+  the SHA-256 hex digest of the canonical JSON encoding (sorted keys,
+  compact separators) of ``{"kind": <stage or class tag>, "payload":
+  <plain data>}``.  Canonical JSON makes the digest independent of dict
+  insertion order, process boundaries and ``PYTHONHASHSEED``; the ``kind``
+  tag keeps equal payloads of different stages (or config classes) from
+  colliding.  Every seed that influences a build is part of the payload,
+  so two fingerprints collide exactly when the builds they describe are
+  bit-identical.
+
+* :class:`BuildCache` — a thread-safe in-process LRU keyed by such
+  fingerprints.  :meth:`BuildCache.get_or_build` runs the builder on a
+  miss (at most once per key, even under concurrent callers — per-key
+  locks serialise racing builders) and returns the cached artifact on a
+  hit; :meth:`BuildCache.cache_info` exposes hit/miss/eviction accounting
+  and :meth:`BuildCache.clear` empties the cache and resets the counters.
+
+Cache invalidation rules
+------------------------
+Keys are *content* fingerprints: any change to a config field, a seed or
+the world population changes the key, so there is no staleness to manage —
+a stale entry is simply never looked up again and eventually falls out of
+the LRU.  The only explicit invalidation is :meth:`BuildCache.clear`
+(used by tests and benchmarks to measure cold builds).  Cached artifacts
+(catalogs, panels) are treated as immutable by every consumer; mutable
+per-run state (APIs, clocks, click logs, delivery engines) is always
+rebuilt fresh by :func:`repro.pipeline.assemble_simulation` and never
+enters the cache.
+
+:func:`build_cache` returns the process-global instance shared by
+:class:`~repro.scenarios.sweep.SweepRunner` chunks and the exec layer's
+process workers: serial and thread backends share one cache per process,
+while each process-pool worker amortises its own across chunks and sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "BuildCache",
+    "CacheInfo",
+    "build_cache",
+    "catalog_stage_key",
+    "stable_fingerprint",
+]
+
+#: Default bound on the number of cached artifacts.  Entries are whole
+#: catalogs and panels, so the cache is sized in dozens, not thousands.
+DEFAULT_CACHE_SIZE = 32
+
+
+def stable_fingerprint(kind: str, payload: Any) -> str:
+    """The SHA-256 fingerprint of ``payload`` under the ``kind`` tag.
+
+    ``payload`` must be JSON-serialisable plain data (the configs'
+    ``to_dict()`` views qualify: dataclass fields of ints, floats, strings,
+    bools, ``None`` and nested dicts/lists/tuples).  The encoding is
+    canonical — sorted keys, compact separators, no NaN shortcuts — so the
+    digest is stable across dict insertion orders, interpreter restarts and
+    machines.
+    """
+    document = {"kind": kind, "payload": payload}
+    encoded = json.dumps(
+        document, sort_keys=True, separators=(",", ":"), allow_nan=False, default=_coerce
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _coerce(value: Any) -> Any:
+    """JSON fallback: sets become sorted lists (tuples the encoder handles
+    natively as arrays); anything else is rejected loudly."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"unfingerprintable value in payload: {value!r}")
+
+
+def catalog_stage_key(
+    catalog_config: Any, seed: int | None, world_population: float
+) -> str:
+    """The fingerprint of one catalog build.
+
+    Shared by :func:`repro.pipeline.build_catalog` and
+    :meth:`repro.reach.ReachModelSpec.build` so a sweep's panel stage and a
+    process worker's reach-model rebuild hit the same cache entry.
+    ``catalog_config`` is duck-typed on ``to_dict()`` to keep this module
+    free of :mod:`repro.config` imports (which import this module).
+    """
+    return stable_fingerprint(
+        "stage:catalog",
+        {
+            "config": catalog_config.to_dict(),
+            "seed": None if seed is None else int(seed),
+            "world_population": float(world_population),
+        },
+    )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of one :class:`BuildCache`'s accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+
+class BuildCache:
+    """Thread-safe in-process LRU of build artifacts keyed by fingerprint.
+
+    ``get_or_build`` guarantees each key's builder runs at most once even
+    when several threads miss concurrently: a per-key lock makes the
+    racing callers wait for the first builder instead of duplicating the
+    work (the property behind the sweep acceptance criterion that an
+    analysis-knob-only sweep builds its catalog and panel exactly once).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """The LRU bound this cache was built with."""
+        return self._maxsize
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Return the artifact for ``key``, building (once) on a miss."""
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    return self._entries[key]
+                key_lock = self._key_locks.setdefault(key, threading.Lock())
+            with key_lock:
+                # Double-check: a racing builder may have finished while
+                # we waited on the key lock; that wait counts as a hit.
+                with self._lock:
+                    if key in self._entries:
+                        self._hits += 1
+                        self._entries.move_to_end(key)
+                        return self._entries[key]
+                    if self._key_locks.get(key) is not key_lock:
+                        # The builder we waited on failed and retired this
+                        # lock; restart so every retry serialises on the
+                        # current lock instead of racing a fresh one.
+                        continue
+                try:
+                    artifact = builder()
+                except BaseException:
+                    # A failing builder must not leak its per-key lock;
+                    # the next caller recreates one and retries the build.
+                    with self._lock:
+                        if self._key_locks.get(key) is key_lock:
+                            del self._key_locks[key]
+                    raise
+                with self._lock:
+                    self._misses += 1
+                    self._entries[key] = artifact
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self._maxsize:
+                        self._entries.popitem(last=False)
+                        self._evictions += 1
+                    self._key_locks.pop(key, None)
+                return artifact
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction accounting plus the current and maximum size."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                currsize=len(self._entries),
+                maxsize=self._maxsize,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the accounting counters."""
+        with self._lock:
+            self._entries.clear()
+            self._key_locks.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+
+#: The process-global cache (built lazily; one per process, including each
+#: process-pool worker).
+_PROCESS_CACHE: BuildCache | None = None
+_PROCESS_CACHE_LOCK = threading.Lock()
+
+
+def build_cache() -> BuildCache:
+    """The process-global :class:`BuildCache` shared by sweeps and workers."""
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        with _PROCESS_CACHE_LOCK:
+            if _PROCESS_CACHE is None:
+                _PROCESS_CACHE = BuildCache()
+    return _PROCESS_CACHE

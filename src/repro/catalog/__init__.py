@@ -1,11 +1,12 @@
 """Synthetic interest catalog: interests, taxonomy and popularity model."""
 
-from .catalog import InterestCatalog
+from .catalog import DEFAULT_WORLD_POPULATION, InterestCatalog
 from .interest import Interest
 from .popularity import PopularityModel
 from .taxonomy import TOPICS, interest_name, topic_for_index, validate_topic
 
 __all__ = [
+    "DEFAULT_WORLD_POPULATION",
     "Interest",
     "InterestCatalog",
     "PopularityModel",

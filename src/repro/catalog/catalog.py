@@ -21,6 +21,13 @@ from .interest import Interest
 from .popularity import PopularityModel
 from .taxonomy import TOPICS, interest_name, topic_for_index
 
+#: The paper's Appendix A user base: ~1.5B users over the 50 largest
+#: Facebook countries.  The catalog generation default, the worker-rebuild
+#: spec default (repro.reach.ReachModelSpec) and the catalog-stage cache
+#: fingerprint (repro.pipeline.catalog_fingerprint) must all agree on this
+#: value, so they all reference this constant.
+DEFAULT_WORLD_POPULATION = 1_500_000_000.0
+
 
 class InterestCatalog:
     """An immutable collection of :class:`Interest` objects."""
@@ -46,7 +53,7 @@ class InterestCatalog:
     def generate(
         config: CatalogConfig | None = None,
         *,
-        world_population: float = 1_500_000_000.0,
+        world_population: float = DEFAULT_WORLD_POPULATION,
         seed: SeedLike = None,
     ) -> "InterestCatalog":
         """Generate a synthetic catalog according to ``config``.

@@ -10,9 +10,12 @@ sub-command per stage of the paper:
 * ``countermeasures``  — Section 8.3: evaluate the proposed platform rules;
 * ``scenario``         — the declarative orchestration layer
   (:mod:`repro.scenarios`): ``scenario list`` prints the registry,
-  ``scenario run NAME`` runs one registered spec (with overrides), and
+  ``scenario run NAME`` runs one registered spec (with overrides),
   ``scenario sweep NAME --grid field=v1,v2 ...`` expands a grid and fans it
-  across the shard-runner backends.
+  across the shard-runner backends, and ``scenario sweep --spec file.json``
+  sweeps a fully external grid (a JSON list of specs, or a base spec plus
+  grid axes) on the same cached compile path — rows sharing catalog/panel
+  fingerprints build those stages once (:mod:`repro.cache`).
 
 Every sub-command accepts ``--factor`` (the scale divisor applied to the
 paper-scale configuration; 1 reproduces the full-scale study) and ``--seed``.
@@ -27,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import Counter
 from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
@@ -236,14 +240,91 @@ def _parse_grid(entries: Sequence[str]) -> dict[str, list]:
     return axes
 
 
-def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioSpec:
-    spec = get_scenario(args.name)
+def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
     overrides = {}
     if args.factor is not None:
         overrides["factor"] = args.factor
     if args.seed is not None:
         overrides["seed"] = args.seed
     return replace(spec, **overrides) if overrides else spec
+
+
+def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioSpec:
+    return _apply_overrides(get_scenario(args.name), args)
+
+
+def _load_spec_file(path: str, args: argparse.Namespace) -> tuple[ScenarioSpec, ...]:
+    """Parse a ``--spec`` file into the grid of scenarios to sweep.
+
+    Two shapes are accepted (both made of :meth:`ScenarioSpec.to_dict`
+    payloads, so a registry export round-trips):
+
+    * a JSON **list** of spec dictionaries — the grid, row by row;
+    * a JSON **object** ``{"base": <spec dict>, "grid": {field: [values]}}``
+      — expanded with :func:`repro.scenarios.expand_grid` exactly like
+      ``--grid`` axes (``grid`` optional; omitted means the base alone).
+
+    ``--factor`` / ``--seed`` overrides apply to every row (list shape) or
+    to the base spec before expansion (object shape).  Malformed files
+    exit with a diagnostic instead of a traceback.
+    """
+    spec_path = Path(path)
+    try:
+        payload = json.loads(spec_path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"--spec {path}: cannot read file ({exc})") from None
+    except ValueError as exc:
+        raise SystemExit(f"--spec {path}: not valid JSON ({exc})") from None
+
+    def check_unique_names(specs: tuple[ScenarioSpec, ...]) -> tuple[ScenarioSpec, ...]:
+        counts = Counter(spec.name for spec in specs)
+        duplicates = sorted(name for name, count in counts.items() if count > 1)
+        if duplicates:
+            raise SystemExit(f"--spec {path}: duplicate scenario names: {duplicates}")
+        return specs
+
+    def spec_from(entry: object) -> ScenarioSpec:
+        if not isinstance(entry, dict):
+            raise SystemExit(
+                f"--spec {path}: every spec must be a JSON object, "
+                f"got {type(entry).__name__}"
+            )
+        return _apply_overrides(ScenarioSpec.from_dict(entry), args)
+
+    try:
+        if isinstance(payload, list):
+            if not payload:
+                raise SystemExit(f"--spec {path}: the spec list is empty")
+            return check_unique_names(tuple(spec_from(entry) for entry in payload))
+        if isinstance(payload, dict):
+            if "base" not in payload:
+                raise SystemExit(
+                    f"--spec {path}: expected a list of specs or an object "
+                    "with a 'base' spec (and optional 'grid' axes)"
+                )
+            unknown = set(payload) - {"base", "grid"}
+            if unknown:
+                raise SystemExit(
+                    f"--spec {path}: unknown top-level keys: {sorted(unknown)}"
+                )
+            base = spec_from(payload["base"])
+            axes = payload.get("grid")
+            if axes is None:
+                axes = {}
+            if not isinstance(axes, dict):
+                raise SystemExit(f"--spec {path}: 'grid' must map fields to value lists")
+            for field, values in axes.items():
+                if not isinstance(values, list):
+                    raise SystemExit(
+                        f"--spec {path}: grid axis {field!r} must be a JSON list "
+                        f"of values, got {type(values).__name__}"
+                    )
+            return check_unique_names(
+                expand_grid(base, {name: list(values) for name, values in axes.items()})
+            )
+    except (ConfigurationError, TypeError, ValueError) as exc:
+        raise SystemExit(f"--spec {path}: {exc}") from None
+    raise SystemExit(f"--spec {path}: expected a JSON list or object")
 
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
@@ -259,9 +340,25 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
 
 
 def cmd_scenario_sweep(args: argparse.Namespace) -> int:
-    """Expand a grid over one scenario and fan it across the runner backends."""
-    base = _scenario_with_overrides(args)
-    specs = expand_grid(base, _parse_grid(args.grid))
+    """Expand a grid over one scenario and fan it across the runner backends.
+
+    The grid comes either from a registered scenario plus ``--grid`` axes,
+    or — fully externally — from a ``--spec`` JSON file (a list of spec
+    dictionaries, or a base spec with grid axes).  Both ride the same
+    cached compile path: rows sharing catalog/panel fingerprints build
+    those stages once.
+    """
+    if args.spec is not None:
+        if args.name is not None:
+            raise SystemExit("give either a registered scenario name or --spec, not both")
+        if args.grid:
+            raise SystemExit("--grid belongs in the --spec file's 'grid' object")
+        specs = _load_spec_file(args.spec, args)
+    else:
+        if args.name is None:
+            raise SystemExit("a registered scenario name (or --spec FILE) is required")
+        base = _scenario_with_overrides(args)
+        specs = expand_grid(base, _parse_grid(args.grid))
     executor = _scenario_executor(args) or ShardExecutor()
     runner = SweepRunner(executor=executor, seed=args.sweep_seed)
     results = runner.run(specs)
@@ -362,8 +459,20 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_list = scenario_subs.add_parser("list", help="print the scenario registry")
     scenario_list.set_defaults(handler=cmd_scenario_list)
 
-    def add_scenario_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("name", help="registered scenario name (see `scenario list`)")
+    def add_scenario_common(
+        sub: argparse.ArgumentParser, *, name_required: bool = True
+    ) -> None:
+        if name_required:
+            sub.add_argument(
+                "name", help="registered scenario name (see `scenario list`)"
+            )
+        else:
+            sub.add_argument(
+                "name",
+                nargs="?",
+                default=None,
+                help="registered scenario name (omit when sweeping a --spec file)",
+            )
         sub.add_argument(
             "--factor", type=int, default=None, help="override the spec's scale divisor"
         )
@@ -382,7 +491,15 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_sweep = scenario_subs.add_parser(
         "sweep", help="expand a grid over one scenario and run it sharded"
     )
-    add_scenario_common(scenario_sweep)
+    add_scenario_common(scenario_sweep, name_required=False)
+    scenario_sweep.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="sweep a fully external grid: a JSON list of scenario specs, or "
+        "an object {'base': spec, 'grid': {field: [values]}}; rows sharing "
+        "catalog/panel fingerprints build those stages once",
+    )
     scenario_sweep.add_argument(
         "--grid",
         action="append",

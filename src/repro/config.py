@@ -6,12 +6,26 @@ defaults reproduce the conditions of the paper: a world user base of roughly
 reported audience ("Potential Reach" floor) of 20 users as in the January
 2017 dataset, at most 25 interests and 50 locations per audience, and a
 2,390-user FDVT panel.
+
+Fingerprint contract
+--------------------
+Every config exposes :meth:`FingerprintedConfig.to_dict` (its dataclass
+fields as plain data) and :meth:`FingerprintedConfig.fingerprint` — the
+SHA-256 digest of the canonical sorted-key JSON encoding of
+``{"kind": <class name>, "payload": to_dict()}`` (see
+:func:`repro.cache.stable_fingerprint`).  The digest is *content
+addressed*: stable across dict insertion order, process restarts and
+``PYTHONHASHSEED``, seed-aware (seeds are ordinary fields), and two
+configs fingerprint equal exactly when they compare equal.  The build
+cache (:mod:`repro.cache`) and the staged pipeline
+(:mod:`repro.pipeline`) key every expensive artifact on these digests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
+from .cache import stable_fingerprint
 from .errors import ConfigurationError
 
 #: Potential Reach floor applied by Facebook when the paper's dataset was
@@ -31,8 +45,24 @@ MAX_LOCATIONS_PER_QUERY = 50
 MIN_CUSTOM_AUDIENCE_SIZE = 100
 
 
+class FingerprintedConfig:
+    """Mixin giving every config dataclass the stable fingerprint contract."""
+
+    def to_dict(self) -> dict:
+        """The config's fields (recursively) as JSON-serialisable plain data."""
+        return asdict(self)  # type: ignore[call-overload]
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content fingerprint (see the module docstring).
+
+        Equal configs — and only equal configs — share a fingerprint; any
+        field change, including a seed change, produces a new digest.
+        """
+        return stable_fingerprint(type(self).__name__, self.to_dict())
+
+
 @dataclass(frozen=True)
-class CatalogConfig:
+class CatalogConfig(FingerprintedConfig):
     """Configuration of the synthetic interest catalog.
 
     The paper observes 98,982 unique interests across its panel whose
@@ -66,7 +96,7 @@ class CatalogConfig:
 
 
 @dataclass(frozen=True)
-class ReachModelConfig:
+class ReachModelConfig(FingerprintedConfig):
     """Configuration of the analytic world-scale reach model.
 
     ``correlation_alpha`` is the conditional-retention exponent: given that a
@@ -92,7 +122,7 @@ class ReachModelConfig:
 
 
 @dataclass(frozen=True)
-class PlatformConfig:
+class PlatformConfig(FingerprintedConfig):
     """Limits and behaviour of the simulated Facebook advertising platform."""
 
     reach_floor: int = LEGACY_REACH_FLOOR
@@ -129,7 +159,7 @@ class PlatformConfig:
 
 
 @dataclass(frozen=True)
-class PanelConfig:
+class PanelConfig(FingerprintedConfig):
     """Configuration of the synthetic FDVT panel (Section 3 of the paper)."""
 
     n_users: int = 2_390
@@ -171,7 +201,7 @@ class PanelConfig:
 
 
 @dataclass(frozen=True)
-class PopulationConfig:
+class PopulationConfig(FingerprintedConfig):
     """Configuration of the agent-based scaled population."""
 
     n_agents: int = 150_000
@@ -193,7 +223,7 @@ class PopulationConfig:
 
 
 @dataclass(frozen=True)
-class UniquenessConfig:
+class UniquenessConfig(FingerprintedConfig):
     """Configuration of the uniqueness analysis (Section 4)."""
 
     max_interests: int = 25
@@ -215,7 +245,7 @@ class UniquenessConfig:
 
 
 @dataclass(frozen=True)
-class ExperimentConfig:
+class ExperimentConfig(FingerprintedConfig):
     """Configuration of the nanotargeting experiment (Section 5)."""
 
     n_targets: int = 3
@@ -252,7 +282,7 @@ class ExperimentConfig:
 
 
 @dataclass(frozen=True)
-class ReproductionConfig:
+class ReproductionConfig(FingerprintedConfig):
     """Top-level configuration bundling every stage of the reproduction."""
 
     catalog: CatalogConfig = field(default_factory=CatalogConfig)

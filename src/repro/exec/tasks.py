@@ -23,11 +23,18 @@ from typing import Any
 import numpy as np
 
 from ..adsapi.reachestimate import apply_reporting_floor_matrix
+from ..cache import build_cache
 from ..reach.backend import ReachBackend
 from ..reach.model import ReachModelSpec
 
-#: Per-process memo of models rebuilt from specs (keyed by the frozen spec).
-_SPEC_MODELS: dict[ReachModelSpec, Any] = {}
+#: Per-process memo of models rebuilt from specs, keyed by the spec's
+#: content fingerprint so equal specs arriving from different sweeps (or
+#: pickling round-trips) share one rebuild per worker process.
+_SPEC_MODELS: dict[str, Any] = {}
+
+#: Spec → fingerprint memo so the shard hot path pays a dataclass hash per
+#: task, not a SHA-256 over the serialised configs.
+_SPEC_KEYS: dict["ReachModelSpec", str] = {}
 
 
 @dataclass(frozen=True)
@@ -47,12 +54,22 @@ class ReachShardTask:
 
 
 def resolve_backend(payload: Any) -> Any:
-    """Return a live backend for ``payload``, rebuilding specs once per process."""
+    """Return a live backend for ``payload``, rebuilding specs once per process.
+
+    Rebuilds route through the process-global
+    :class:`~repro.cache.BuildCache`, so a worker that already generated
+    the catalog for a cached sweep chunk reuses it for the reach model
+    (and vice versa) instead of paying the build twice.
+    """
     if isinstance(payload, ReachModelSpec):
-        model = _SPEC_MODELS.get(payload)
+        key = _SPEC_KEYS.get(payload)
+        if key is None:
+            key = payload.fingerprint()
+            _SPEC_KEYS[payload] = key
+        model = _SPEC_MODELS.get(key)
         if model is None:
-            model = payload.build()
-            _SPEC_MODELS[payload] = model
+            model = payload.build(cache=build_cache())
+            _SPEC_MODELS[key] = model
         return model
     return payload
 

@@ -10,6 +10,29 @@ This is also the compilation target of the declarative scenario layer:
 :meth:`repro.scenarios.ScenarioSpec.compile` resolves a spec to a config
 and calls :func:`build_simulation`, so scenario runs and hand-wired runs
 build byte-for-byte the same stack.
+
+Stage decomposition
+-------------------
+The build is three stages, split along its cost structure:
+
+* :func:`build_catalog` — generate the interest catalog (the dominant cost
+  together with the panel);
+* :func:`build_panel` — assign interests to the FDVT panel on top of a
+  catalog;
+* :func:`assemble_simulation` — wire the cheap, *mutable* per-run shell
+  (reach model, the two platform APIs with fresh clocks and rate limiters,
+  delivery engine, click log) around the two expensive artifacts.
+
+The first two stages are pure functions of (config, resolved stage seed)
+and accept a :class:`~repro.cache.BuildCache`: their results are keyed by
+the content fingerprints :func:`catalog_fingerprint` /
+:func:`panel_fingerprint` (seed-aware, see the contract in
+:mod:`repro.config`), so sweeps whose grid rows only vary analysis knobs
+share one catalog + panel build across every row.  Cached artifacts are
+treated as immutable; the assembled shell is always fresh, which is why a
+cached and an uncached build are bit-identical — including rate-limit and
+clock accounting.  ``build_simulation(config, seed=seed)`` without a cache
+is byte-for-byte the pre-cache behaviour.
 """
 
 from __future__ import annotations
@@ -17,8 +40,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ._rng import derive_seed
+from .cache import BuildCache, catalog_stage_key, stable_fingerprint
 from .adsapi import AdsManagerAPI
-from .catalog import InterestCatalog
+from .catalog import DEFAULT_WORLD_POPULATION, InterestCatalog
 from .config import PlatformConfig, ReproductionConfig, default_config
 from .core import (
     LeastPopularSelection,
@@ -97,24 +121,136 @@ class Simulation:
         return ShardExecutor(backend=backend, workers=workers, shard_size=shard_size)
 
 
-def build_simulation(
-    config: ReproductionConfig | None = None, *, seed: int | None = None
-) -> Simulation:
-    """Build a fully wired :class:`Simulation` from ``config``.
+# -- stage seeds and fingerprints ---------------------------------------------------
 
-    The uniqueness API uses the January 2017 platform limits (reporting floor
-    of 20 users, no worldwide location) while the campaign API uses the late
-    2020 limits (floor of 1,000 users, worldwide location available), exactly
-    matching the two phases of the paper.
+
+def _catalog_seed(config: ReproductionConfig, seed: int | None) -> int:
+    """The resolved catalog-stage seed for a top-level ``seed``."""
+    return config.catalog.seed if seed is None else derive_seed(seed, "catalog")
+
+
+def _panel_seed(config: ReproductionConfig, seed: int | None) -> int:
+    """The resolved panel-stage seed for a top-level ``seed``."""
+    return config.panel.seed if seed is None else derive_seed(seed, "panel")
+
+
+def catalog_fingerprint(config: ReproductionConfig, seed: int | None = None) -> str:
+    """The content fingerprint of the catalog stage under ``(config, seed)``.
+
+    Two (config, seed) pairs share this digest exactly when
+    :func:`build_catalog` would produce bit-identical catalogs.
     """
-    config = config or default_config()
-    catalog_seed = config.catalog.seed if seed is None else derive_seed(seed, "catalog")
-    panel_seed = config.panel.seed if seed is None else derive_seed(seed, "panel")
+    return catalog_stage_key(
+        config.catalog, _catalog_seed(config, seed), DEFAULT_WORLD_POPULATION
+    )
+
+
+def panel_fingerprint(config: ReproductionConfig, seed: int | None = None) -> str:
+    """The content fingerprint of the panel stage under ``(config, seed)``.
+
+    The panel depends on the catalog it is assigned from, its own config
+    and seed, and the interest assigner's topic-affinity boost (derived
+    from the reach config), so all four feed the digest.
+    """
+    return stable_fingerprint(
+        "stage:panel",
+        {
+            "catalog": catalog_fingerprint(config, seed),
+            "panel": config.panel.to_dict(),
+            "topic_affinity_boost": config.reach.topic_affinity_boost,
+            "seed": int(_panel_seed(config, seed)),
+        },
+    )
+
+
+def simulation_fingerprint(config: ReproductionConfig, seed: int | None = None) -> str:
+    """The content fingerprint of a fully assembled simulation.
+
+    Not a cache key (the assembled shell is mutable and always built
+    fresh) but the identity tests and fixtures key shared builds on.
+    """
+    return stable_fingerprint(
+        "stage:simulation",
+        {"config": config.to_dict(), "seed": None if seed is None else int(seed)},
+    )
+
+
+# -- cacheable build stages ---------------------------------------------------------
+
+
+def build_catalog(
+    config: ReproductionConfig,
+    *,
+    seed: int | None = None,
+    cache: BuildCache | None = None,
+) -> InterestCatalog:
+    """Build (or fetch) the interest catalog stage of ``config``.
+
+    ``seed`` is the *top-level* simulation seed, resolved to the catalog
+    stage seed exactly like :func:`build_simulation` does.  With a
+    ``cache``, the catalog is keyed by :func:`catalog_fingerprint` and
+    shared with every other build of the same stage — including the reach
+    model rebuilds of process-pool shard workers, which use the same key
+    (:meth:`repro.reach.ReachModelSpec.build`).
+    """
+    stage_seed = _catalog_seed(config, seed)
+
+    def generate() -> InterestCatalog:
+        return InterestCatalog.generate(config.catalog, seed=stage_seed)
+
+    if cache is None:
+        return generate()
+    return cache.get_or_build(catalog_fingerprint(config, seed), generate)
+
+
+def build_panel(
+    config: ReproductionConfig,
+    *,
+    seed: int | None = None,
+    catalog: InterestCatalog | None = None,
+    cache: BuildCache | None = None,
+) -> FDVTPanel:
+    """Build (or fetch) the FDVT panel stage of ``config``.
+
+    Builds on ``catalog`` when given (it must be the catalog stage of the
+    same (config, seed) — the fingerprint assumes so), otherwise resolves
+    the catalog stage itself through the same ``cache``.
+    """
+    if catalog is None:
+        catalog = build_catalog(config, seed=seed, cache=cache)
+    stage_seed = _panel_seed(config, seed)
+
+    def assemble() -> FDVTPanel:
+        assigner = InterestAssigner(
+            catalog, topic_affinity_boost=1.0 + 10.0 * config.reach.topic_affinity_boost
+        )
+        return PanelBuilder(catalog, config.panel, assigner=assigner).build(
+            seed=stage_seed
+        )
+
+    if cache is None:
+        return assemble()
+    return cache.get_or_build(panel_fingerprint(config, seed), assemble)
+
+
+def assemble_simulation(
+    config: ReproductionConfig,
+    catalog: InterestCatalog,
+    panel: FDVTPanel,
+    *,
+    seed: int | None = None,
+) -> Simulation:
+    """Wire the per-run shell around the (possibly cached) build artifacts.
+
+    Everything mutable lives here — reach-model memo caches, the two
+    platform APIs with fresh clocks and token buckets, the delivery engine
+    and the click log — so simulations sharing cached artifacts never
+    share run state.
+    """
+    catalog_seed = _catalog_seed(config, seed)
     delivery_seed = (
         config.experiment.seed if seed is None else derive_seed(seed, "delivery")
     )
-
-    catalog = InterestCatalog.generate(config.catalog, seed=catalog_seed)
     # The spec lets process-pool shard workers rebuild this exact model from
     # config + seed instead of unpickling the whole catalog.
     reach_spec = ReachModelSpec(
@@ -129,10 +265,6 @@ def build_simulation(
     campaign_api = AdsManagerAPI(
         reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
     )
-    assigner = InterestAssigner(
-        catalog, topic_affinity_boost=1.0 + 10.0 * config.reach.topic_affinity_boost
-    )
-    panel = PanelBuilder(catalog, config.panel, assigner=assigner).build(seed=panel_seed)
     delivery_engine = DeliveryEngine(catalog, seed=delivery_seed)
     return Simulation(
         config=config,
@@ -144,3 +276,27 @@ def build_simulation(
         delivery_engine=delivery_engine,
         click_log=ClickLog(),
     )
+
+
+def build_simulation(
+    config: ReproductionConfig | None = None,
+    *,
+    seed: int | None = None,
+    cache: BuildCache | None = None,
+) -> Simulation:
+    """Build a fully wired :class:`Simulation` from ``config``.
+
+    The uniqueness API uses the January 2017 platform limits (reporting floor
+    of 20 users, no worldwide location) while the campaign API uses the late
+    2020 limits (floor of 1,000 users, worldwide location available), exactly
+    matching the two phases of the paper.
+
+    ``cache`` threads a :class:`~repro.cache.BuildCache` through the
+    catalog and panel stages; results are bit-identical with and without
+    it (catalog generation and panel assembly are deterministic in their
+    fingerprinted inputs), so callers opt in purely for speed.
+    """
+    config = config or default_config()
+    catalog = build_catalog(config, seed=seed, cache=cache)
+    panel = build_panel(config, seed=seed, catalog=catalog, cache=cache)
+    return assemble_simulation(config, catalog, panel, seed=seed)

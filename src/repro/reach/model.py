@@ -70,7 +70,8 @@ from typing import Sequence
 import numpy as np
 
 from .._rng import stable_hash
-from ..catalog import InterestCatalog
+from ..cache import BuildCache, catalog_stage_key, stable_fingerprint
+from ..catalog import DEFAULT_WORLD_POPULATION, InterestCatalog
 from ..config import CatalogConfig, ReachModelConfig
 from ..errors import ConfigurationError, UnknownInterestError
 from .backend import ReachBackend
@@ -102,16 +103,53 @@ class ReachModelSpec:
     catalog_config: CatalogConfig
     reach_config: ReachModelConfig
     catalog_seed: int | None = None
-    catalog_world_population: float = 1_500_000_000.0
+    catalog_world_population: float = DEFAULT_WORLD_POPULATION
     world_population: float | None = None
 
-    def build(self) -> "StatisticalReachModel":
-        """Rebuild the model this spec describes."""
-        catalog = InterestCatalog.generate(
-            self.catalog_config,
-            world_population=self.catalog_world_population,
-            seed=self.catalog_seed,
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the model this spec rebuilds.
+
+        Follows the config fingerprint contract (:mod:`repro.config`):
+        equal specs — and only equal specs — share a digest, across
+        process restarts.  Process workers key their per-worker model
+        memo on it (:mod:`repro.exec.tasks`).
+        """
+        return stable_fingerprint(
+            "ReachModelSpec",
+            {
+                "catalog_config": self.catalog_config.to_dict(),
+                "reach_config": self.reach_config.to_dict(),
+                "catalog_seed": self.catalog_seed,
+                "catalog_world_population": self.catalog_world_population,
+                "world_population": self.world_population,
+            },
         )
+
+    def build(self, *, cache: "BuildCache | None" = None) -> "StatisticalReachModel":
+        """Rebuild the model this spec describes.
+
+        With a :class:`~repro.cache.BuildCache`, the catalog generation —
+        the expensive part — is keyed by the same catalog-stage
+        fingerprint :func:`repro.pipeline.build_catalog` uses, so a
+        worker that already compiled a sweep simulation reuses its
+        catalog here (and vice versa).  The model shell itself is always
+        fresh: its memo caches are per-instance run state.
+        """
+
+        def generate() -> InterestCatalog:
+            return InterestCatalog.generate(
+                self.catalog_config,
+                world_population=self.catalog_world_population,
+                seed=self.catalog_seed,
+            )
+
+        if cache is None:
+            catalog = generate()
+        else:
+            key = catalog_stage_key(
+                self.catalog_config, self.catalog_seed, self.catalog_world_population
+            )
+            catalog = cache.get_or_build(key, generate)
         return StatisticalReachModel(
             catalog,
             self.reach_config,

@@ -29,6 +29,7 @@ from typing import Any, Protocol, Sequence, runtime_checkable
 
 from .._rng import derive_seed
 from ..adsapi import AdsManagerAPI
+from ..cache import BuildCache
 from ..campaigns import AdvertiserWorkloadGenerator
 from ..core import NanotargetingExperiment, UniquenessModel
 from ..core.results import ScenarioResult
@@ -77,9 +78,19 @@ def run_experiment(
     return experiment.summarize(experiment.merge(experiment.execute(executor)))
 
 
-def build_experiment(spec: ScenarioSpec, simulation: Simulation | None = None) -> Experiment:
-    """Bind ``spec`` to its study adapter (compiling the simulation if needed)."""
-    simulation = simulation or spec.compile()
+def build_experiment(
+    spec: ScenarioSpec,
+    simulation: Simulation | None = None,
+    *,
+    cache: BuildCache | None = None,
+) -> Experiment:
+    """Bind ``spec`` to its study adapter (compiling the simulation if needed).
+
+    ``cache`` threads a :class:`~repro.cache.BuildCache` into the compile
+    so repeated builds of the same catalog/panel stages are shared;
+    ignored when ``simulation`` is already provided.
+    """
+    simulation = simulation or spec.compile(cache=cache)
     adapters = {
         "uniqueness": UniquenessStudy,
         "nanotargeting": NanotargetingStudy,
@@ -94,9 +105,10 @@ def run_scenario(
     *,
     executor: ShardExecutor | None = None,
     simulation: Simulation | None = None,
+    cache: BuildCache | None = None,
 ) -> ScenarioResult:
     """Compile, bind and run one scenario — the unit a sweep fans out."""
-    return run_experiment(build_experiment(spec, simulation), executor)
+    return run_experiment(build_experiment(spec, simulation, cache=cache), executor)
 
 
 # -- shared wiring helpers -------------------------------------------------------

@@ -25,9 +25,16 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 
 from .._rng import derive_seed
+from ..cache import BuildCache
 from ..config import ReproductionConfig, default_config, quick_config
 from ..errors import ConfigurationError
-from ..pipeline import Simulation, build_simulation
+from ..pipeline import (
+    Simulation,
+    build_simulation,
+    catalog_fingerprint,
+    panel_fingerprint,
+    simulation_fingerprint,
+)
 
 #: The four paper studies a scenario can run.
 STUDIES = ("uniqueness", "nanotargeting", "workload_impact", "fdvt_risk")
@@ -154,14 +161,36 @@ class ScenarioSpec:
             experiment = replace(experiment, daily_budget_eur=self.daily_budget_eur)
         return replace(config, uniqueness=uniqueness, experiment=experiment)
 
-    def compile(self) -> Simulation:
+    def compile(self, *, cache: BuildCache | None = None) -> Simulation:
         """Build the fully wired simulation this spec describes.
 
         Exactly ``build_simulation(self.config(), seed=self.seed)`` — the
         same call the hand-wired examples and the CLI make, which is what
-        keeps scenario runs bit-identical to direct invocations.
+        keeps scenario runs bit-identical to direct invocations.  With a
+        :class:`~repro.cache.BuildCache` the catalog and panel stages are
+        fetched by fingerprint when another compile already built them
+        (bit-identical either way; see :mod:`repro.pipeline`).
         """
-        return build_simulation(self.config(), seed=self.seed)
+        return build_simulation(self.config(), seed=self.seed, cache=cache)
+
+    def stage_fingerprints(self) -> dict[str, str]:
+        """The content fingerprints of this spec's build stages.
+
+        Keys: ``"catalog"``, ``"panel"``, ``"simulation"`` — the digests
+        :func:`repro.pipeline.catalog_fingerprint` /
+        :func:`~repro.pipeline.panel_fingerprint` /
+        :func:`~repro.pipeline.simulation_fingerprint` assign to the
+        resolved config + seed.  Two specs share a stage fingerprint
+        exactly when compiling them builds a bit-identical stage artifact,
+        which is what :class:`~repro.scenarios.sweep.SweepRunner` groups
+        grid rows by.
+        """
+        config = self.config()
+        return {
+            "catalog": catalog_fingerprint(config, self.seed),
+            "panel": panel_fingerprint(config, self.seed),
+            "simulation": simulation_fingerprint(config, self.seed),
+        }
 
     # -- round-trip ----------------------------------------------------------------
 

@@ -7,10 +7,21 @@ runs the chunks on the same :class:`~repro.exec.runner.ShardRunner`
 backends as collection — serial, thread pool or process pool (specs are
 pure data, so process workers pickle a few primitives and compile their own
 simulations).  Per-chunk :class:`~repro.core.results.ResultSet` blocks
-merge back in shard order, so the sweep result lists scenarios exactly in
+reassemble in grid order, so the sweep result lists scenarios exactly in
 grid order and is **identical** to running every spec directly — each
-scenario compiles its own simulation from its own (derived) seed, no state
-is shared across grid rows.
+scenario compiles its own simulation from its own (derived) seed, no run
+state is shared across grid rows.
+
+Shared builds: with ``share_builds`` (the default) the runner groups grid
+rows by their (catalog, panel) stage fingerprints
+(:meth:`ScenarioSpec.stage_fingerprints`) so rows that only vary analysis
+knobs — strategies, probabilities, API tier, countermeasure rules — land
+in the same chunks, and every chunk compiles through the process-global
+:class:`~repro.cache.BuildCache`.  An analysis-knob-only sweep therefore
+builds its catalog and panel exactly once (per process) instead of once
+per row, while the results stay bit-identical to the uncached path:
+cached artifacts are immutable inputs and the per-run shell is always
+fresh (see :mod:`repro.pipeline`).
 
 :func:`expand_grid` builds the grid: the cartesian product of a base spec
 and per-field axes, with deterministic ``name/field=value`` naming that the
@@ -23,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import Mapping, Sequence
 
+from ..cache import build_cache
 from ..core.results import ResultSet
 from ..errors import ConfigurationError
 from ..exec import ShardExecutor
@@ -61,11 +73,26 @@ def coerce_axis_value(field_name: str, token: str) -> object:
     return token
 
 
-def _run_scenario_chunk(specs: tuple[ScenarioSpec, ...]) -> ResultSet:
-    """Run one contiguous chunk of the grid (the unit a runner executes)."""
+@dataclass(frozen=True)
+class _SweepChunk:
+    """One picklable unit of sweep work: a run of specs plus the cache flag."""
+
+    specs: tuple[ScenarioSpec, ...]
+    share_builds: bool
+
+
+def _run_scenario_chunk(chunk: _SweepChunk) -> ResultSet:
+    """Run one chunk of the grid (the unit a runner executes).
+
+    With ``share_builds`` every compile in the chunk goes through the
+    process-global :class:`~repro.cache.BuildCache`: serial and thread
+    backends share one cache across all chunks, each process-pool worker
+    amortises its own across the chunks (and sweeps) it executes.
+    """
+    cache = build_cache() if chunk.share_builds else None
     results = ResultSet()
-    for spec in specs:
-        results.add(run_scenario(spec))
+    for spec in chunk.specs:
+        results.add(run_scenario(spec, cache=cache))
     return results
 
 
@@ -78,10 +105,19 @@ class SweepRunner:
     name)`` — so re-running the sweep, running a single grid row directly,
     or moving the sweep to another backend or worker count all produce
     bit-identical :class:`~repro.core.results.ResultSet`\\ s.
+
+    ``share_builds`` (default on) routes every chunk's simulation compiles
+    through the process-global :class:`~repro.cache.BuildCache` and packs
+    rows with equal (catalog, panel) stage fingerprints into the same
+    chunks, so expensive builds happen once per distinct fingerprint
+    rather than once per row.  The result set is bit-identical either way
+    — ``share_builds=False`` is the reference path benchmarks and parity
+    tests pin against.
     """
 
     executor: ShardExecutor = field(default_factory=ShardExecutor)
     seed: int | None = None
+    share_builds: bool = True
 
     def resolve(self, specs: Sequence[ScenarioSpec]) -> tuple[ScenarioSpec, ...]:
         """The grid as it will actually run (seeds derived, names checked)."""
@@ -93,19 +129,53 @@ class SweepRunner:
             raise ConfigurationError("scenario names in a sweep must be unique")
         return resolved
 
+    def build_groups(
+        self, resolved: Sequence[ScenarioSpec]
+    ) -> tuple[tuple[ScenarioSpec, ...], ...]:
+        """The grid regrouped by shared (catalog, panel) build fingerprints.
+
+        Groups are ordered by first appearance and rows keep grid order
+        within their group, so the regrouping is a stable permutation —
+        the runner maps results back to grid order by scenario name.
+        """
+        groups: dict[tuple[str, str], list[ScenarioSpec]] = {}
+        for spec in resolved:
+            stages = spec.stage_fingerprints()
+            groups.setdefault((stages["catalog"], stages["panel"]), []).append(spec)
+        return tuple(tuple(group) for group in groups.values())
+
+    def _chunks(self, resolved: tuple[ScenarioSpec, ...]) -> list[_SweepChunk]:
+        """Partition the grid into runner chunks under the executor's plan.
+
+        Without shared builds the chunks cut the grid contiguously (the
+        pre-cache behaviour).  With shared builds the grid is first
+        regrouped by build fingerprint so chunk boundaries — and hence
+        process-pool worker assignments — never split a group more than
+        the plan demands, keeping per-worker builds to one per distinct
+        (catalog, panel) stage wherever possible.
+        """
+        if self.share_builds:
+            ordered: list[ScenarioSpec] = [
+                spec for group in self.build_groups(resolved) for spec in group
+            ]
+        else:
+            ordered = list(resolved)
+        return [
+            _SweepChunk(tuple(ordered[shard.start : shard.stop]), self.share_builds)
+            for shard in self.executor.plan(len(ordered))
+        ]
+
     def run(self, specs: Sequence[ScenarioSpec]) -> ResultSet:
-        """Run every scenario and merge the per-chunk results in grid order."""
+        """Run every scenario and reassemble the results in grid order."""
         resolved = self.resolve(specs)
         if not resolved:
             return ResultSet()
         runner = self.executor.runner()
-        chunks = [
-            resolved[shard.start : shard.stop]
-            for shard in self.executor.plan(len(resolved))
-        ]
-        merged = ResultSet()
-        for block in runner.run(_run_scenario_chunk, chunks):
-            merged.merge(block)
+        by_name = {}
+        for block in runner.run(_run_scenario_chunk, self._chunks(resolved)):
+            for result in block:
+                by_name[result.scenario] = result
+        merged = ResultSet(by_name[spec.name] for spec in resolved)
         return merged.finalize()
 
 

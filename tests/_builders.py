@@ -1,0 +1,54 @@
+"""Shared simulation/API builders for the test suite.
+
+Importable from any test module (``from _builders import ...``) and wired
+into fixtures by ``tests/conftest.py``.  Lives outside ``conftest.py``
+because that module name is claimed per-directory by pytest (the
+``benchmarks/`` conftest would shadow it in a whole-repo run).
+
+Build sharing: :func:`build_cached_simulation` threads one suite-wide
+:class:`repro.cache.BuildCache` into :func:`repro.pipeline.build_simulation`,
+so every test compiling the same (config, seed) shares the catalog and
+panel stages by content fingerprint while the mutable per-run shell — APIs,
+clocks, rate limiters, delivery engine, click log — is always fresh; no
+test observes another test's run state.
+"""
+
+from __future__ import annotations
+
+from repro import PlatformConfig, build_simulation, quick_config
+from repro.adsapi import AdsManagerAPI
+from repro.cache import BuildCache
+from repro.config import ReproductionConfig
+from repro.simclock import SimClock
+
+#: One build cache for the whole session: catalog/panel stages are shared
+#: across every test that compiles the same fingerprints.
+SUITE_BUILD_CACHE = BuildCache(maxsize=32)
+
+
+def build_cached_simulation(
+    config: ReproductionConfig | None = None, *, seed: int | None = None
+):
+    """Compile a simulation through the suite-wide fingerprint-keyed cache.
+
+    Bit-identical to ``build_simulation(config, seed=seed)`` (pinned by
+    ``tests/test_build_cache.py``) but catalog and panel builds are shared
+    across the suite.  The returned simulation's mutable shell is fresh.
+    """
+    return build_simulation(
+        config or quick_config(factor=50), seed=seed, cache=SUITE_BUILD_CACHE
+    )
+
+
+def fresh_legacy_api(simulation) -> AdsManagerAPI:
+    """A fresh Ads API (own clock + token bucket) with the 2017 limits."""
+    return AdsManagerAPI(
+        simulation.reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
+    )
+
+
+def fresh_modern_api(simulation) -> AdsManagerAPI:
+    """A fresh Ads API (own clock + token bucket) with the late-2020 limits."""
+    return AdsManagerAPI(
+        simulation.reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
+    )

@@ -3,26 +3,51 @@
 Most tests run against a heavily scaled-down configuration (small catalog,
 small panel, few bootstrap replicates) so the whole suite stays fast while
 still exercising every code path of the full-scale reproduction.
+
+Simulation builds are shared by content fingerprint: the fixtures delegate
+to :mod:`tests/_builders`, whose suite-wide
+:class:`repro.cache.BuildCache` lets every test that compiles the same
+(config, seed) reuse the catalog and panel stages while keeping the
+mutable per-run shell fresh.  Test modules that build their own
+simulations or APIs import those helpers (``from _builders import
+build_cached_simulation, fresh_legacy_api``) instead of hand-rolling them.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import PlatformConfig, build_simulation, quick_config
+from _builders import (
+    SUITE_BUILD_CACHE,
+    build_cached_simulation,
+    fresh_legacy_api,
+    fresh_modern_api,
+)
 from repro.adsapi import AdsManagerAPI
+from repro.cache import BuildCache
 from repro.catalog import InterestCatalog
 from repro.config import CatalogConfig, PanelConfig
 from repro.fdvt import FDVTPanel, PanelBuilder
 from repro.population import InterestAssigner
 from repro.reach import StatisticalReachModel
-from repro.simclock import SimClock
+
+
+@pytest.fixture(scope="session")
+def suite_build_cache() -> BuildCache:
+    """The suite-wide build cache behind :func:`build_cached_simulation`."""
+    return SUITE_BUILD_CACHE
+
+
+@pytest.fixture(scope="session")
+def simulation_factory():
+    """The fingerprint-keyed session builder, as a fixture."""
+    return build_cached_simulation
 
 
 @pytest.fixture(scope="session")
 def simulation():
     """A fully wired, scaled-down simulation shared across the suite."""
-    return build_simulation(quick_config(factor=50))
+    return build_cached_simulation()
 
 
 @pytest.fixture(scope="session")
@@ -73,16 +98,12 @@ def tiny_panel(tiny_catalog) -> FDVTPanel:
 
 
 @pytest.fixture()
-def legacy_api(reach_model) -> AdsManagerAPI:
+def legacy_api(simulation) -> AdsManagerAPI:
     """A fresh Ads API with the January 2017 platform limits (floor = 20)."""
-    return AdsManagerAPI(
-        reach_model, platform=PlatformConfig.legacy_2017(), clock=SimClock()
-    )
+    return fresh_legacy_api(simulation)
 
 
 @pytest.fixture()
-def modern_api(reach_model) -> AdsManagerAPI:
+def modern_api(simulation) -> AdsManagerAPI:
     """A fresh Ads API with the late 2020 platform limits (floor = 1000)."""
-    return AdsManagerAPI(
-        reach_model, platform=PlatformConfig.modern_2020(), clock=SimClock()
-    )
+    return fresh_modern_api(simulation)

@@ -7,6 +7,8 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exec import ShardExecutor
+from repro.scenarios import ScenarioSpec, SweepRunner, expand_grid
 
 #: A very small scale keeps every CLI invocation fast.
 FACTOR = ["--factor", "80"]
@@ -94,3 +96,164 @@ class TestCountermeasuresCommand:
         captured = capsys.readouterr().out
         assert "protected successes: 0/21" in captured
         assert "attack reduction" in captured
+
+
+def _spec_payload(**overrides) -> dict:
+    spec = dict(
+        name="ext",
+        study="uniqueness",
+        factor=80,
+        seed=3,
+        strategies=["random"],
+        probabilities=[0.9],
+        n_bootstrap=10,
+    )
+    spec.update(overrides)
+    return spec
+
+
+class TestScenarioSweepSpecFile:
+    """`scenario sweep --spec file.json`: external grids on the cached path."""
+
+    def test_grid_file_round_trips_the_result_set(self, tmp_path, capsys):
+        spec_file = tmp_path / "grid.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "base": _spec_payload(),
+                    "grid": {"strategies": [["least_popular"], ["random"]]},
+                }
+            )
+        )
+        output = tmp_path / "results.json"
+        exit_code = main(
+            ["scenario", "sweep", "--spec", str(spec_file), "--output", str(output)]
+        )
+        assert exit_code == 0
+        assert "swept 2 scenarios" in capsys.readouterr().out
+        # The CLI output is exactly the ResultSet the library produces for
+        # the same grid — the file-driven path rides the same sweep.
+        grid = expand_grid(
+            ScenarioSpec.from_dict(_spec_payload()),
+            {"strategies": [("least_popular",), ("random",)]},
+        )
+        expected = SweepRunner(executor=ShardExecutor()).run(grid)
+        payload = json.loads(output.read_text())
+        # JSON turns the confidence-interval tuples into lists, so compare
+        # the expected dicts after the same round-trip.
+        assert payload == {"scenarios": json.loads(json.dumps(expected.to_dicts()))}
+
+    def test_list_file_runs_each_row(self, tmp_path, capsys):
+        spec_file = tmp_path / "rows.json"
+        spec_file.write_text(
+            json.dumps(
+                [
+                    _spec_payload(name="row-a"),
+                    _spec_payload(name="row-b", study="fdvt_risk", risk_users=4),
+                ]
+            )
+        )
+        exit_code = main(["scenario", "sweep", "--spec", str(spec_file)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "row-a" in out and "row-b" in out
+
+    def test_factor_and_seed_overrides_apply_to_file_specs(self, tmp_path, capsys):
+        spec_file = tmp_path / "base.json"
+        spec_file.write_text(json.dumps({"base": _spec_payload(seed=None)}))
+        output = tmp_path / "results.json"
+        exit_code = main(
+            [
+                "scenario",
+                "sweep",
+                "--spec",
+                str(spec_file),
+                "--seed",
+                "3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert [entry["seed"] for entry in payload["scenarios"]] == [3]
+
+    @pytest.mark.parametrize(
+        "content,message",
+        [
+            ("not json", "not valid JSON"),
+            ("{}", "'base' spec"),
+            ('{"nope": 1}', "'base' spec"),
+            ('{"base": {"name": "x"}, "grid": {}, "extra": 1}', "unknown top-level"),
+            ("[]", "spec list is empty"),
+            ('{"base": {"name": "x", "study": "nope"}}', "unknown study"),
+            (
+                '[{"name": "x", "study": "uniqueness", "n_bootstraps": 1}]',
+                "unknown scenario fields",
+            ),
+            ('{"base": {"name": "x", "study": "uniqueness"}, "grid": [1]}', "grid"),
+            ('{"base": {"name": "x", "study": "uniqueness"}, "grid": []}', "grid"),
+            (
+                '[{"name": "dup", "study": "uniqueness"},'
+                ' {"name": "dup", "study": "fdvt_risk"}]',
+                "duplicate scenario names",
+            ),
+            (
+                '{"base": {"name": "x", "study": "uniqueness"},'
+                ' "grid": {"api_tier": "modern_2020"}}',
+                "axis 'api_tier' must be a JSON list",
+            ),
+            ('[["name"]]', "must be a JSON object"),
+            (
+                '{"base": {"name": "x", "study": "uniqueness"},'
+                ' "grid": {"seed": [1, 1]}}',
+                "duplicate scenario names",
+            ),
+        ],
+        ids=[
+            "not-json",
+            "empty-object",
+            "no-base",
+            "extra-keys",
+            "empty-list",
+            "bad-study",
+            "unknown-field",
+            "grid-not-object",
+            "grid-falsy-list",
+            "duplicate-names",
+            "grid-axis-not-list",
+            "row-not-object",
+            "grid-duplicate-names",
+        ],
+    )
+    def test_malformed_spec_files_exit_with_diagnostics(
+        self, tmp_path, content, message
+    ):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(content)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "sweep", "--spec", str(spec_file)])
+        assert message in str(excinfo.value)
+
+    def test_missing_file_and_conflicting_arguments(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read file"):
+            main(["scenario", "sweep", "--spec", str(tmp_path / "absent.json")])
+        spec_file = tmp_path / "ok.json"
+        spec_file.write_text(json.dumps([_spec_payload()]))
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                ["scenario", "sweep", "uniqueness-table1", "--spec", str(spec_file)]
+            )
+        with pytest.raises(SystemExit, match="belongs in the --spec"):
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    "--spec",
+                    str(spec_file),
+                    "--grid",
+                    "seed=1,2",
+                ]
+            )
+        with pytest.raises(SystemExit, match="name .*--spec FILE.* is required"):
+            main(["scenario", "sweep"])

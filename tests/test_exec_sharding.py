@@ -46,13 +46,7 @@ from repro.population import SyntheticUser
 from repro.reach import country_codes
 from repro.simclock import SimClock
 
-
-def _fresh_api(simulation) -> AdsManagerAPI:
-    return AdsManagerAPI(
-        simulation.reach_model,
-        platform=PlatformConfig.legacy_2017(),
-        clock=SimClock(),
-    )
+from _builders import fresh_legacy_api
 
 
 def _accounting(api: AdsManagerAPI) -> tuple:
@@ -62,7 +56,7 @@ def _accounting(api: AdsManagerAPI) -> tuple:
 @pytest.fixture(scope="module")
 def reference(simulation):
     """The fused panel-tier collection plus its end-state accounting."""
-    api = _fresh_api(simulation)
+    api = fresh_legacy_api(simulation)
     collector = AudienceSizeCollector(
         api, simulation.panel, max_interests=8, locations=country_codes()
     )
@@ -155,7 +149,7 @@ class TestShardedCollectParity:
         self, simulation, reference, backend, workers
     ):
         ref_samples, ref_accounting = reference
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -170,7 +164,7 @@ class TestShardedCollectParity:
     def test_process_backend_rebuilds_model_from_spec(self, simulation, reference):
         ref_samples, ref_accounting = reference
         assert simulation.reach_model.spec is not None
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -195,7 +189,7 @@ class TestShardedCollectParity:
     def test_shard_size_does_not_change_results(self, simulation, reference):
         ref_samples, ref_accounting = reference
         for shard_size in (1, 3, 1000):
-            api = _fresh_api(simulation)
+            api = fresh_legacy_api(simulation)
             collector = AudienceSizeCollector(
                 api, simulation.panel, max_interests=8, locations=country_codes()
             )
@@ -215,11 +209,11 @@ class TestShardedCollectParity:
             SyntheticUser(user_id=4, country="AR", interest_ids=tuple(pool[28:29])),
         ]
         panel = FDVTPanel(users, catalog)
-        fused_api = _fresh_api(simulation)
+        fused_api = fresh_legacy_api(simulation)
         fused = AudienceSizeCollector(
             fused_api, panel, max_interests=10, locations=country_codes()
         ).collect(LeastPopularSelection(), mode="panel")
-        sharded_api = _fresh_api(simulation)
+        sharded_api = fresh_legacy_api(simulation)
         sharded = AudienceSizeCollector(
             sharded_api, panel, max_interests=10, locations=country_codes()
         ).collect_sharded(LeastPopularSelection(), shard_size=1)
@@ -232,7 +226,7 @@ class TestShardedCollectParity:
             SyntheticUser(user_id=n, country="US", interest_ids=()) for n in (1, 2, 3)
         ]
         panel = FDVTPanel(users, simulation.catalog)
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, panel, max_interests=5, locations=country_codes()
         )
@@ -243,7 +237,7 @@ class TestShardedCollectParity:
 
     def test_executor_and_loose_knobs_are_exclusive(self, simulation):
         collector = AudienceSizeCollector(
-            _fresh_api(simulation),
+            fresh_legacy_api(simulation),
             simulation.panel,
             max_interests=3,
             locations=country_codes(),
@@ -257,7 +251,7 @@ class TestShardedCollectParity:
 class TestCollectStream:
     def test_blocks_concatenate_to_the_fused_matrix(self, simulation, reference):
         ref_samples, ref_accounting = reference
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -272,7 +266,7 @@ class TestCollectStream:
         assert _accounting(api) == ref_accounting
 
     def test_stream_is_lazy_and_bills_incrementally(self, simulation):
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=4, locations=country_codes()
         )
@@ -290,7 +284,7 @@ class TestCollectStream:
 
     def test_accumulator_matches_dense_samples(self, simulation, reference):
         ref_samples, _ = reference
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -317,7 +311,7 @@ class TestCollectStream:
     def test_accumulator_merge_matches_single_accumulator(self, simulation, reference):
         ref_samples, _ = reference
         collector = AudienceSizeCollector(
-            _fresh_api(simulation),
+            fresh_legacy_api(simulation),
             simulation.panel,
             max_interests=8,
             locations=country_codes(),
@@ -337,7 +331,7 @@ class TestCollectStream:
     def test_streamed_bootstrap_is_bit_identical(self, simulation, reference):
         ref_samples, _ = reference
         collector = AudienceSizeCollector(
-            _fresh_api(simulation),
+            fresh_legacy_api(simulation),
             simulation.panel,
             max_interests=8,
             locations=country_codes(),
@@ -370,7 +364,7 @@ class TestUniquenessModelTiers:
     @pytest.fixture(scope="class")
     def model(self, simulation):
         return UniquenessModel(
-            _fresh_api(simulation),
+            fresh_legacy_api(simulation),
             simulation.panel,
             UniquenessConfig(max_interests=6, n_bootstrap=40, seed=4242),
             locations=country_codes(),
@@ -542,7 +536,7 @@ class TestShardedBootstrap:
 
     @pytest.fixture(scope="class")
     def samples(self, simulation):
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -577,7 +571,7 @@ class TestShardedBootstrap:
             assert np.array_equal(serial_cutpoints[q], rechunked[q], equal_nan=True)
 
     def test_streamed_store_parity(self, simulation, samples, serial_cutpoints):
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -595,7 +589,7 @@ class TestShardedBootstrap:
             assert np.array_equal(serial_cutpoints[q], sharded[q], equal_nan=True)
 
     def test_estimate_threads_executor_into_bootstrap(self, simulation):
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         model = UniquenessModel(
             api,
             simulation.panel,
@@ -617,7 +611,7 @@ class TestFusedStreamedGather:
 
     @pytest.fixture(scope="class")
     def stores(self, simulation):
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         collector = AudienceSizeCollector(
             api, simulation.panel, max_interests=8, locations=country_codes()
         )
@@ -665,7 +659,7 @@ class TestShardedRiskReports:
     def reference_reports(self, simulation, users):
         from repro.fdvt import FDVTExtension
 
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         extension = FDVTExtension(api, simulation.catalog)
         return extension.build_risk_reports(users), _accounting(api)
 
@@ -684,7 +678,7 @@ class TestShardedRiskReports:
         from repro.fdvt import FDVTExtension
 
         expected_reports, expected_accounting = reference_reports
-        api = _fresh_api(simulation)
+        api = fresh_legacy_api(simulation)
         extension = FDVTExtension(api, simulation.catalog)
         reports = extension.build_risk_reports(users, executor=executor)
         assert reports == expected_reports

@@ -18,13 +18,13 @@ from dataclasses import replace
 
 import pytest
 
-from repro import build_simulation
 from repro.campaigns import AdvertiserWorkloadGenerator
 from repro.core import ResultSet, ScenarioResult
 from repro.countermeasures import InterestCapRule, evaluate_workload_impact
 from repro.errors import ConfigurationError, ModelError
 from repro.exec import ShardExecutor
 from repro.fdvt import FDVTExtension
+from _builders import build_cached_simulation
 from repro.scenarios import (
     ScenarioSpec,
     SweepRunner,
@@ -135,7 +135,7 @@ class TestStudyParity:
     def test_uniqueness_matches_direct_model(self):
         spec = uniqueness_spec()
         result = run_scenario(spec)
-        simulation = build_simulation(spec.config(), seed=spec.seed)
+        simulation = build_cached_simulation(spec.config(), seed=spec.seed)
         _, random_strategy = simulation.strategies()
         report = simulation.uniqueness_model().estimate(
             random_strategy, probabilities=(0.9,)
@@ -148,7 +148,7 @@ class TestStudyParity:
             name="test-nano", study="nanotargeting", factor=FACTOR, seed=5
         )
         result = run_scenario(spec)
-        simulation = build_simulation(spec.config(), seed=5)
+        simulation = build_cached_simulation(spec.config(), seed=5)
         report = simulation.nanotargeting_experiment(seed=5).run(
             candidates=simulation.panel.users
         )
@@ -165,7 +165,7 @@ class TestStudyParity:
             workload_size=120,
         )
         result = run_scenario(spec)
-        simulation = build_simulation(spec.config(), seed=9)
+        simulation = build_cached_simulation(spec.config(), seed=9)
         workload = AdvertiserWorkloadGenerator(simulation.catalog).generate(120, seed=9)
         impact = evaluate_workload_impact(
             simulation.campaign_api, workload, [InterestCapRule()]
@@ -178,7 +178,7 @@ class TestStudyParity:
             name="test-fdvt", study="fdvt_risk", factor=FACTOR, seed=3, risk_users=8
         )
         result = run_scenario(spec)
-        simulation = build_simulation(spec.config(), seed=3)
+        simulation = build_cached_simulation(spec.config(), seed=3)
         extension = FDVTExtension(simulation.uniqueness_api, simulation.catalog)
         reports = extension.build_risk_reports(simulation.panel.users[:8])
         assert result.raw == reports
@@ -218,8 +218,13 @@ class TestScenarioDeterminism:
         "executor",
         [
             ShardExecutor(),
-            ShardExecutor(backend="thread", workers=2),
-            ShardExecutor(backend="thread", workers=4, shard_size=7),
+            pytest.param(
+                ShardExecutor(backend="thread", workers=2), marks=pytest.mark.slow
+            ),
+            pytest.param(
+                ShardExecutor(backend="thread", workers=4, shard_size=7),
+                marks=pytest.mark.slow,
+            ),
         ],
         ids=["serial", "thread-2", "thread-4-small-shards"],
     )
