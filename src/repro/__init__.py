@@ -40,12 +40,16 @@ from .errors import (
     CatalogError,
     ConfigurationError,
     DeliveryError,
+    ExecError,
     InsufficientDataError,
     ModelError,
     PanelError,
     PopulationError,
     ReproError,
+    ShardFailedError,
+    TransientApiError,
 )
+from .faults import FaultPlan, RetryPolicy
 from .pipeline import (
     Simulation,
     assemble_simulation,
@@ -57,7 +61,9 @@ from .pipeline import (
     simulation_fingerprint,
 )
 from .scenarios import (
+    RunManifest,
     ScenarioSpec,
+    SweepReport,
     SweepRunner,
     expand_grid,
     get_scenario,
@@ -78,7 +84,9 @@ __all__ = [
     "CatalogError",
     "ConfigurationError",
     "DeliveryError",
+    "ExecError",
     "ExperimentConfig",
+    "FaultPlan",
     "InsufficientDataError",
     "ModelError",
     "PanelConfig",
@@ -89,10 +97,15 @@ __all__ = [
     "ReachModelConfig",
     "ReproError",
     "ReproductionConfig",
+    "RetryPolicy",
+    "RunManifest",
     "ScenarioSpec",
+    "ShardFailedError",
     "SimClock",
     "Simulation",
+    "SweepReport",
     "SweepRunner",
+    "TransientApiError",
     "UniquenessConfig",
     "__version__",
     "assemble_simulation",

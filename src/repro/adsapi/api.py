@@ -338,6 +338,12 @@ class AdsManagerAPI:
         *merged* bill of a shard plan — settling shard bills separately
         would interleave extra refills and break bit-identity with the
         fused pass.
+
+        This single settle point is also what makes billing exactly-once
+        under the fault layer: shard retries and worker-crash resubmits
+        (:mod:`repro.faults`) re-run pure compute tasks that never touch
+        this API, so no attempt — first, failed or repeated — can drain
+        the bucket or advance the clock a second time.
         """
         self._throttle_bulk(bill.reach_estimates)
 

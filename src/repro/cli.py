@@ -50,7 +50,9 @@ from .io import (
     save_panel,
     uniqueness_report_to_dict,
 )
-from .errors import ConfigurationError
+from ._rng import derive_seed
+from .errors import ConfigurationError, ReproError
+from .faults import FaultPlan, RetryPolicy
 from .pipeline import Simulation
 from .exec import ShardExecutor
 from .scenarios import (
@@ -61,7 +63,13 @@ from .scenarios import (
     list_scenarios,
     run_scenario,
 )
-from .scenarios.sweep import coerce_axis_value
+from .scenarios.sweep import ON_ERROR_MODES, coerce_axis_value
+
+#: Exit codes of the console script: 0 success, 1 domain-level failure
+#: (e.g. dead-lettered scenarios, --fail-on-success), 2 configuration
+#: errors, 3 execution failures.  Argparse usage errors also exit 2.
+EXIT_CONFIG_ERROR = 2
+EXIT_EXEC_ERROR = 3
 
 
 def _build(args: argparse.Namespace) -> Simulation:
@@ -339,6 +347,28 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_fault_layer(
+    args: argparse.Namespace,
+) -> tuple[RetryPolicy | None, FaultPlan | None]:
+    """The (retry, faults) pair requested by --retries/--fault-rate."""
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
+    )
+    faults = None
+    if args.fault_rate:
+        faults = FaultPlan(
+            seed=derive_seed(args.fault_seed or 0, "cli-faults"),
+            transient_rate=args.fault_rate / 3.0,
+            error_rate=args.fault_rate / 3.0,
+            slow_rate=args.fault_rate / 3.0,
+        )
+        if retry is None:
+            # Injection without retries would just kill the sweep; pair it
+            # with the plan's convergence bound by default.
+            retry = RetryPolicy(max_attempts=faults.max_faults_per_task + 1)
+    return retry, faults
+
+
 def cmd_scenario_sweep(args: argparse.Namespace) -> int:
     """Expand a grid over one scenario and fan it across the runner backends.
 
@@ -347,6 +377,14 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
     dictionaries, or a base spec with grid axes).  Both ride the same
     cached compile path: rows sharing catalog/panel fingerprints build
     those stages once.
+
+    Fault tolerance: ``--retries`` enables per-scenario retries,
+    ``--on-error skip`` dead-letters failing scenarios instead of
+    aborting, ``--manifest FILE`` persists per-scenario outcomes
+    incrementally, and ``--resume FILE`` re-runs only the scenarios a
+    previous manifest did not complete (matched by full-spec
+    fingerprint).  ``--fault-rate`` injects deterministic chaos for
+    drills.  Exit status is 1 when any scenario dead-lettered.
     """
     if args.spec is not None:
         if args.name is not None:
@@ -360,14 +398,76 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
         base = _scenario_with_overrides(args)
         specs = expand_grid(base, _parse_grid(args.grid))
     executor = _scenario_executor(args) or ShardExecutor()
-    runner = SweepRunner(executor=executor, seed=args.sweep_seed)
-    results = runner.run(specs)
+    retry, faults = _sweep_fault_layer(args)
+    runner = SweepRunner(
+        executor=executor,
+        seed=args.sweep_seed,
+        retry=retry,
+        faults=faults,
+        on_error=args.on_error,
+    )
+    report = runner.run_report(
+        specs, resume=args.resume, manifest_path=args.manifest
+    )
+    results = report.results
     print(
         f"swept {len(results)} scenarios on {executor.describe()} "
         f"(sweep seed: {args.sweep_seed})"
     )
+    counts = report.counts()
+    if counts["retried"] or counts["resumed"] or counts["failed"]:
+        print(
+            f"outcomes: {counts['completed']}/{counts['total']} completed, "
+            f"{counts['retried']} retried, {counts['resumed']} resumed, "
+            f"{counts['failed']} dead-lettered"
+        )
     print(format_records(results.table_rows()))
+    if args.manifest:
+        print(f"manifest: {args.manifest}")
     _write_json(args.output, {"scenarios": results.to_dicts()})
+    if not report.ok:
+        for line in report.failure_lines():
+            print(line, file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Describe a deterministic fault plan (and preview what would fire)."""
+    plan = FaultPlan(
+        seed=derive_seed(args.seed or 0, "cli-faults"),
+        transient_rate=args.transient_rate,
+        error_rate=args.error_rate,
+        slow_rate=args.slow_rate,
+        crash_rate=args.crash_rate,
+    )
+    print("fault plan:")
+    for key, value in plan.describe().items():
+        print(f"  {key}: {value}")
+    retry = RetryPolicy(max_attempts=args.retries + 1)
+    print("retry policy:")
+    for key, value in retry.describe().items():
+        print(f"  {key}: {value}")
+    decisions = plan.preview(args.tasks, args.attempts)
+    print(
+        f"preview: {len(decisions)} fault(s) over {args.tasks} task(s) "
+        f"x {args.attempts} attempt(s)"
+    )
+    for decision in decisions:
+        detail = f" ({decision.seconds:g}s)" if decision.seconds else ""
+        print(
+            f"  task {decision.task_index} attempt {decision.attempt}: "
+            f"{decision.kind}{detail}"
+        )
+    converges = retry.max_attempts > plan.max_faults_per_task
+    print(
+        "convergence: "
+        + (
+            "guaranteed (max_attempts > max_faults_per_task)"
+            if converges
+            else "NOT guaranteed — raise --retries above max_faults_per_task"
+        )
+    )
     return 0
 
 
@@ -515,16 +615,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="derive per-scenario seeds from this base (specs with explicit "
         "seeds keep them)",
     )
+    scenario_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per scenario for transient failures (0 = fail fast)",
+    )
+    scenario_sweep.add_argument(
+        "--on-error",
+        choices=ON_ERROR_MODES,
+        default="raise",
+        help="what to do when a scenario exhausts its retries: abort the "
+        "sweep, or dead-letter it and return the partial results",
+    )
+    scenario_sweep.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="persist per-scenario outcomes to FILE after every chunk "
+        "(a killed sweep leaves a valid --resume point)",
+    )
+    scenario_sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help="resume from a previous run's manifest: completed scenarios "
+        "whose spec fingerprint still matches hydrate instead of re-running",
+    )
+    scenario_sweep.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject deterministic chaos: per-attempt fault probability, "
+        "split across transient API errors, task errors and slow rows",
+    )
+    scenario_sweep.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed of the injected fault plan (chaos replays bit-identically)",
+    )
     scenario_sweep.set_defaults(handler=cmd_scenario_sweep)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="describe a deterministic fault plan and preview what would fire",
+    )
+    faults.add_argument("--seed", type=int, default=None, help="fault-plan seed")
+    faults.add_argument("--transient-rate", type=float, default=0.1)
+    faults.add_argument("--error-rate", type=float, default=0.05)
+    faults.add_argument("--slow-rate", type=float, default=0.05)
+    faults.add_argument("--crash-rate", type=float, default=0.0)
+    faults.add_argument(
+        "--retries", type=int, default=3, help="retry budget to check convergence against"
+    )
+    faults.add_argument(
+        "--tasks", type=int, default=16, help="tasks covered by the preview"
+    )
+    faults.add_argument(
+        "--attempts", type=int, default=2, help="attempts per task in the preview"
+    )
+    faults.set_defaults(handler=cmd_faults)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point used by the console script."""
+    """Entry point used by the console script.
+
+    Library failures surface as a one-line stderr diagnostic and a
+    distinct exit code — :data:`EXIT_CONFIG_ERROR` (2) for configuration
+    errors, :data:`EXIT_EXEC_ERROR` (3) for everything else the library
+    raises — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ConfigurationError as error:
+        print(f"repro-facebook: configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    except ReproError as error:
+        print(
+            f"repro-facebook: {type(error).__name__}: {error}", file=sys.stderr
+        )
+        return EXIT_EXEC_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -186,6 +186,13 @@ class AudienceSizeCollector:
         and shard size.  Pass a prebuilt ``executor`` or the loose
         ``backend`` / ``workers`` / ``shard_size`` knobs (``backend``
         defaults to a thread pool when ``workers > 1``).
+
+        Billing is exactly-once even under retries: shard tasks are pure
+        compute (no API object, no token bucket), so an executor carrying
+        a :class:`~repro.faults.RetryPolicy` / :class:`~repro.faults.FaultPlan`
+        can re-run a shard any number of times without double-charging —
+        the coordinator settles the one merged bill above, before any
+        shard executes.
         """
         executor = self._resolve_executor(executor, backend, workers, shard_size)
         runner = executor.runner()

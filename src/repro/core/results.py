@@ -158,6 +158,41 @@ class ScenarioResult:
             "summary": list(self.summary),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ScenarioResult":
+        """Rebuild a canonical result from :meth:`to_dict` output.
+
+        The inverse of a JSON round trip: JSON turns the tuples inside
+        table rows (e.g. rounded confidence-interval pairs) into lists,
+        so sequence values are recursively canonicalised back to tuples.
+        Round-tripping is exact — ``ScenarioResult.from_dict(json.loads(
+        json.dumps(r.to_dict())))`` compares equal to ``r`` — because the
+        canonical fields only ever hold scalars, strings and (nested)
+        tuples.  This is what lets a resumed sweep hydrate completed rows
+        from a :class:`~repro.scenarios.manifest.RunManifest` bit-identically.
+        ``raw`` is not serialised, so a hydrated result carries ``None``
+        there (``raw`` is excluded from equality).
+        """
+
+        def canonical(value):
+            if isinstance(value, (list, tuple)):
+                return tuple(canonical(item) for item in value)
+            return value
+
+        return cls(
+            scenario=payload["scenario"],
+            study=payload["study"],
+            seed=payload["seed"],
+            metrics=tuple(
+                (name, float(value)) for name, value in payload["metrics"].items()
+            ),
+            table=tuple(
+                {key: canonical(value) for key, value in row.items()}
+                for row in payload["table"]
+            ),
+            summary=tuple(payload["summary"]),
+        )
+
 
 class ResultSet:
     """An ordered, mergeable collection of :class:`ScenarioResult`\\ s.

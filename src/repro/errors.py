@@ -40,8 +40,64 @@ class PanelError(ReproError):
     """The FDVT panel could not be built or queried."""
 
 
+class ExecError(ReproError):
+    """Base class for failures inside the sharded execution layer."""
+
+
+class ShardFailedError(ExecError):
+    """A shard task died on a runner backend, after any retries.
+
+    Carries the shard (task) index and the backend name so callers can tell
+    *which* unit of a plan failed; the original exception is available both
+    as :attr:`cause` and as ``__cause__`` (the runners raise with
+    ``raise ... from cause``).
+    """
+
+    def __init__(self, shard_index: int, backend: str, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard_index} failed on the {backend!r} backend: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.shard_index = shard_index
+        self.backend = backend
+        self.cause = cause
+
+
+class WorkerCrashError(ExecError):
+    """A (simulated) worker crash on an in-process runner backend.
+
+    The fault-injection harness raises this on the serial and thread
+    backends where a real process kill is impossible; on the process
+    backend the same fault decision exits the worker, producing a genuine
+    ``BrokenProcessPool`` that the runner recovers from.  Retryable.
+    """
+
+
+class InjectedFaultError(ExecError):
+    """A deterministic shard-task exception injected by a fault plan."""
+
+
 class AdsApiError(ReproError):
     """Base class for errors returned by the simulated Ads Manager API."""
+
+
+class TransientApiError(AdsApiError):
+    """A transient, retryable Ads API failure (timeouts, 5xx-style blips).
+
+    The real Ads Manager API fails intermittently over a multi-week
+    campaign; the fault-injection harness raises this to simulate those
+    blips.  ``retry_after_seconds`` (optional) mirrors the rate-limit
+    error's hint and is honoured by the retry policy's backoff.
+    """
+
+    def __init__(
+        self, message: str = "transient Ads API failure", *,
+        retry_after_seconds: float | None = None,
+    ) -> None:
+        if retry_after_seconds is not None:
+            message = f"{message} (retry after {retry_after_seconds:.2f}s)"
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
 
 
 class TargetingValidationError(AdsApiError):

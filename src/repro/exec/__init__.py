@@ -38,8 +38,31 @@ shards its deduplicated bulk query, and the scenario layer's
 :class:`~repro.scenarios.SweepRunner` partitions whole experiment grids
 with the same :class:`ExecutionPlan` machinery — one execution vocabulary
 from a single kernel block up to a multi-scenario sweep.
+
+Fault model (see :mod:`repro.faults` for the full contract)
+-----------------------------------------------------------
+Runners optionally carry a :class:`~repro.faults.RetryPolicy` and a
+seeded :class:`~repro.faults.FaultPlan`; :class:`ShardExecutor` threads
+both through as the ``retry`` / ``faults`` fields.  Three invariants hold
+whenever the layer is active:
+
+* **Determinism** — every injected fault is a pure hash of
+  ``(plan.seed, shard_index, attempt)``, so chaos runs replay
+  bit-identically across backends, worker counts and processes.
+* **Exactly-once billing** — shard tasks are pure compute; the
+  coordinator computes and settles each collection's merged
+  :class:`~repro.adsapi.CallBill` exactly once regardless of how many
+  attempts any shard burned, so ``CallStats`` and
+  :class:`~repro.adsapi.TokenBucket` levels match the fault-free run
+  bit-for-bit.
+* **Attribution** — failures that survive their retries surface as
+  :class:`~repro.errors.ShardFailedError` naming the shard index and
+  backend; process-pool breakage (real or injected via worker
+  ``os._exit``) is recovered by rebuilding the pool and resubmitting
+  unfinished shards with advanced attempt counters.
 """
 
+from ..faults import FaultPlan, RetryPolicy
 from .executor import DEFAULT_SHARD_ROWS, ShardExecutor
 from .plan import ExecutionPlan, Shard
 from .runner import (
@@ -55,8 +78,10 @@ from .tasks import ReachShardTask, run_reach_shard, shard_backend_payload
 __all__ = [
     "DEFAULT_SHARD_ROWS",
     "ExecutionPlan",
+    "FaultPlan",
     "ProcessRunner",
     "ReachShardTask",
+    "RetryPolicy",
     "SerialRunner",
     "Shard",
     "ShardExecutor",

@@ -9,9 +9,10 @@ threads through every layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
+from ..faults import FaultPlan, RetryPolicy
 from .plan import ExecutionPlan
 from .runner import RUNNER_BACKENDS, ShardRunner, make_runner
 
@@ -29,6 +30,13 @@ class ShardExecutor:
     backend: str = "serial"
     workers: int = 1
     shard_size: int | None = None
+    #: Retry policy for the fault-tolerance layer (None = no retries).
+    #: Excluded from :attr:`fingerprint` and comparison: with the
+    #: exactly-once billing contract the retry layer never changes what a
+    #: collection computes, only whether it survives faults.
+    retry: RetryPolicy | None = field(default=None, compare=False)
+    #: Fault-injection plan (None = no injected faults).
+    faults: FaultPlan | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.backend not in RUNNER_BACKENDS:
@@ -45,7 +53,12 @@ class ShardExecutor:
 
     @property
     def fingerprint(self) -> tuple:
-        """Hashable identity used in collection cache keys."""
+        """Hashable identity used in collection cache keys.
+
+        Deliberately excludes ``retry``/``faults``: fault tolerance is
+        pinned bit-identical to the fault-free path
+        (``tests/test_faults.py``), so it must never split a cache key.
+        """
         return (self.backend, self.workers, self.shard_size)
 
     def plan(self, n_rows: int) -> ExecutionPlan:
@@ -61,8 +74,10 @@ class ShardExecutor:
         return ExecutionPlan.partition(n_rows, n_shards=n_shards)
 
     def runner(self) -> ShardRunner:
-        """Build this executor's runner."""
-        return make_runner(self.backend, self.workers)
+        """Build this executor's runner (fault layer included, if any)."""
+        return make_runner(
+            self.backend, self.workers, retry=self.retry, faults=self.faults
+        )
 
     def describe(self) -> str:
         """Human-readable summary for logs and benchmark records."""

@@ -19,7 +19,12 @@ first-class object:
   :func:`~repro.scenarios.sweep.expand_grid` — grids of specs fanned over
   the same :class:`~repro.exec.runner.ShardRunner` backends as collection,
   reducing into the mergeable :class:`~repro.core.results.ResultSet`
-  bit-identically for every backend and worker count;
+  bit-identically for every backend and worker count; with a
+  :class:`~repro.faults.RetryPolicy` / :class:`~repro.faults.FaultPlan`
+  the sweep degrades gracefully instead of crashing, records per-spec
+  outcomes in a :class:`~repro.scenarios.manifest.RunManifest` and can
+  resume an interrupted run from it
+  (:meth:`~repro.scenarios.sweep.SweepRunner.run_report`);
 * the scenario registry (:func:`~repro.scenarios.registry.register_scenario`
   et al.) behind the ``repro scenario list/run/sweep`` CLI.
 
@@ -51,19 +56,23 @@ from .experiments import (
     run_experiment,
     run_scenario,
 )
+from .manifest import ManifestEntry, RunManifest
 from .registry import get_scenario, list_scenarios, register_scenario
 from .spec import API_TIERS, LOCATION_MIXES, STRATEGY_NAMES, STUDIES, ScenarioSpec
-from .sweep import SweepRunner, expand_grid
+from .sweep import SweepReport, SweepRunner, expand_grid
 
 __all__ = [
     "API_TIERS",
     "Experiment",
     "FDVTRiskStudy",
     "LOCATION_MIXES",
+    "ManifestEntry",
     "NanotargetingStudy",
+    "RunManifest",
     "STRATEGY_NAMES",
     "STUDIES",
     "ScenarioSpec",
+    "SweepReport",
     "SweepRunner",
     "UniquenessStudy",
     "WorkloadImpactStudy",

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 
 from .._rng import derive_seed
-from ..cache import BuildCache
+from ..cache import BuildCache, stable_fingerprint
 from ..config import ReproductionConfig, default_config, quick_config
 from ..errors import ConfigurationError
 from ..pipeline import (
@@ -191,6 +191,18 @@ class ScenarioSpec:
             "panel": panel_fingerprint(config, self.seed),
             "simulation": simulation_fingerprint(config, self.seed),
         }
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the *whole* spec (every knob + seed).
+
+        Unlike :meth:`stage_fingerprints` (which keys build artifacts and
+        deliberately ignores analysis knobs), this digest changes when any
+        field changes — it identifies "the same experiment".  Sweep
+        manifests key per-spec outcomes on it, so a resumed sweep only
+        trusts a recorded result when the spec that produced it matches
+        bit-for-bit.
+        """
+        return stable_fingerprint("scenario-spec", self.to_dict())
 
     # -- round-trip ----------------------------------------------------------------
 

@@ -235,6 +235,141 @@ class TestScenarioSweepSpecFile:
             main(["scenario", "sweep", "--spec", str(spec_file)])
         assert message in str(excinfo.value)
 
+class TestErrorHygiene:
+    """Library failures exit with a one-line diagnostic, never a traceback."""
+
+    def test_configuration_errors_exit_2(self, capsys):
+        exit_code = main(["scenario", "run", "no-such-scenario", *FACTOR])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro-facebook: configuration error:")
+        assert "no-such-scenario" in err
+
+    def test_execution_errors_exit_3(self, capsys):
+        exit_code = main(["fdvt-report", *FACTOR, "--user-id", "999999"])
+        assert exit_code == 3
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro-facebook: PanelError:")
+
+    def test_doomed_chaos_sweep_exits_3_with_shard_context(
+        self, tmp_path, capsys
+    ):
+        spec_file = tmp_path / "grid.json"
+        spec_file.write_text(
+            json.dumps({"base": _spec_payload(), "grid": {"seed": [1, 2]}})
+        )
+        # --fault-seed 1 dooms grid row 0 twice in a row, which a
+        # --retries 1 budget cannot outlast; on_error defaults to raise.
+        exit_code = main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--retries", "1", "--fault-rate", "0.9", "--fault-seed", "1",
+            ]
+        )
+        assert exit_code == 3
+        assert "ShardFailedError" in capsys.readouterr().err
+
+
+class TestScenarioSweepFaultTolerance:
+    def _grid_file(self, tmp_path):
+        spec_file = tmp_path / "grid.json"
+        spec_file.write_text(
+            json.dumps({"base": _spec_payload(), "grid": {"seed": [1, 2]}})
+        )
+        return spec_file
+
+    def test_chaos_sweep_output_is_bit_identical_to_fault_free(
+        self, tmp_path, capsys
+    ):
+        spec_file = self._grid_file(tmp_path)
+        clean, chaotic = tmp_path / "clean.json", tmp_path / "chaos.json"
+        assert main(
+            ["scenario", "sweep", "--spec", str(spec_file), "--output", str(clean)]
+        ) == 0
+        assert main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--retries", "3", "--fault-rate", "0.9", "--fault-seed", "1",
+                "--output", str(chaotic),
+            ]
+        ) == 0
+        assert json.loads(chaotic.read_text()) == json.loads(clean.read_text())
+        assert "retried" in capsys.readouterr().out
+
+    def test_on_error_skip_dead_letters_and_exits_1(self, tmp_path, capsys):
+        spec_file = self._grid_file(tmp_path)
+        output = tmp_path / "partial.json"
+        exit_code = main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--retries", "1", "--fault-rate", "0.9", "--fault-seed", "1",
+                "--on-error", "skip", "--output", str(output),
+            ]
+        )
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "1 dead-lettered" in captured.out
+        assert "failed after 2 attempt(s)" in captured.err
+        # The partial results still cover the surviving row.
+        assert len(json.loads(output.read_text())["scenarios"]) == 1
+
+    def test_manifest_resume_round_trip(self, tmp_path, capsys):
+        spec_file = self._grid_file(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        clean, resumed = tmp_path / "clean.json", tmp_path / "resumed.json"
+        assert main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--manifest", str(manifest), "--output", str(clean),
+            ]
+        ) == 0
+        payload = json.loads(manifest.read_text())
+        assert [e["status"] for e in payload["entries"]] == ["completed"] * 2
+        assert main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--resume", str(manifest), "--output", str(resumed),
+            ]
+        ) == 0
+        assert "2 resumed" in capsys.readouterr().out
+        assert json.loads(resumed.read_text()) == json.loads(clean.read_text())
+
+    def test_resume_with_a_bad_manifest_exits_2(self, tmp_path, capsys):
+        spec_file = self._grid_file(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        exit_code = main(
+            ["scenario", "sweep", "--spec", str(spec_file), "--resume", str(bad)]
+        )
+        assert exit_code == 2
+        assert "configuration error" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_describes_plan_and_previews_decisions(self, capsys):
+        exit_code = main(["faults", "--seed", "7", "--tasks", "8"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "retry policy:" in out
+        assert "preview:" in out
+        assert "convergence: guaranteed" in out
+
+    def test_flags_unconverging_budgets(self, capsys):
+        exit_code = main(["faults", "--retries", "1"])
+        assert exit_code == 0
+        assert "NOT guaranteed" in capsys.readouterr().out
+
+    def test_same_seed_prints_the_same_schedule(self, capsys):
+        main(["faults", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["faults", "--seed", "9"])
+        assert capsys.readouterr().out == first
+
+
+class TestScenarioSweepSpecFileErrors:
     def test_missing_file_and_conflicting_arguments(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot read file"):
             main(["scenario", "sweep", "--spec", str(tmp_path / "absent.json")])
