@@ -25,6 +25,10 @@ the hot paths industrialised by the batched pipeline —
 * the **scenario sweep** (an 8-spec grid through ``repro.scenarios``'s
   ``SweepRunner`` vs the same studies hand-wired, measuring the
   orchestration layer's per-scenario overhead),
+* the **reach service** (the always-on ``repro.service`` loop: a healthy
+  trace at half capacity for sustained throughput and P50/P99 latency,
+  then a 2x-overload trace under chaos for shed rate and admitted-P99 —
+  every served answer hard-checked against a direct bulk call),
 
 — verifies that the tiers agree bit-for-bit, and appends the timings to a
 ``BENCH_perf.json`` trajectory file so future PRs can track the speedup.
@@ -65,6 +69,7 @@ from repro.fdvt import FDVTExtension, FDVTPanel
 from repro.population import SyntheticUser
 from repro.reach import country_codes
 from repro.scenarios import ScenarioSpec, SweepRunner, expand_grid
+from repro.service import ReachService, RequestTrace, ServiceConfig, run_trace
 from repro.simclock import SimClock
 
 #: Scale divisor matching benchmarks/conftest.py's mid-scale simulation.
@@ -85,6 +90,17 @@ RISK_REPORT_USERS = 30
 SHARD_TILES = 16
 QUICK_SHARD_TILES = 64
 SHARD_WORKERS = 4
+
+#: Reach-service stage knobs.  Capacity is ``max_batch_cells /
+#: tick_seconds / mean request cost``; the healthy trace runs at half of
+#: it, the overload trace at twice it (the acceptance scenario).
+SERVICE_BATCH_CELLS = 64
+SERVICE_TICK_SECONDS = 1.0
+SERVICE_MEAN_COST = 5.0  # trace costs are uniform on [2, 8] interests
+SERVICE_TRACE_SECONDS = 30.0
+SERVICE_CHAOS = FaultPlan(
+    seed=20211102, transient_rate=0.1, error_rate=0.05, slow_rate=0.05
+)
 
 
 def _timed(label: str, fn):
@@ -150,6 +166,107 @@ def _tiled_panel(panel: FDVTPanel, tiles: int) -> FDVTPanel:
             )
             user_id += 1
     return FDVTPanel(users, panel.catalog)
+
+
+def _service_stage(simulation) -> dict:
+    """Time the always-on reach service: healthy load, then 2x overload.
+
+    The healthy run (half capacity, no chaos) measures sustained wall
+    throughput and virtual P50/P99 of a service that never sheds.  The
+    overload run (twice capacity, chaos plan active) measures graceful
+    degradation: typed rejections, shed rate, and the admitted-P99 bound.
+    Both runs hard-check bit-parity of every served answer against a
+    direct ``estimate_reach_matrix`` call on a fresh API.
+    """
+
+    def modern_api() -> AdsManagerAPI:
+        return AdsManagerAPI(
+            simulation.reach_model,
+            platform=PlatformConfig.modern_2020(),
+            clock=SimClock(),
+        )
+
+    config = ServiceConfig(
+        tenant_requests_per_minute=6_000.0,
+        tenant_burst=200,
+        max_queue_cells=256,
+        max_batch_cells=SERVICE_BATCH_CELLS,
+        tick_seconds=SERVICE_TICK_SECONDS,
+        default_timeout_seconds=10.0,
+    )
+    capacity_rps = SERVICE_BATCH_CELLS / SERVICE_TICK_SECONDS / SERVICE_MEAN_COST
+
+    def run(load: float, faults: FaultPlan | None):
+        service = ReachService(modern_api(), config=config, faults=faults)
+        trace = RequestTrace.generate(
+            simulation.catalog,
+            seed=20211102,
+            duration_seconds=SERVICE_TRACE_SECONDS,
+            requests_per_second=load * capacity_rps,
+            tenants=4,
+        )
+        start = time.perf_counter()
+        report = run_trace(service, trace)
+        wall = time.perf_counter() - start
+        summary = report.summary()
+        served = len(report.completed)
+        digest = {
+            "load_factor": load,
+            "requests": summary["responses"],
+            "served": served,
+            "wall_seconds": wall,
+            "wall_qps": served / wall if wall > 0 else float("inf"),
+            "virtual_qps": summary["virtual_qps"],
+            "shed_rate": summary["shed_rate"],
+            "status_counts": summary["status_counts"],
+            "latency_p50_seconds": summary["latency_p50_seconds"],
+            "latency_p99_seconds": summary["latency_p99_seconds"],
+        }
+        parity_ok = not report.parity_failures(modern_api())
+        return digest, parity_ok
+
+    healthy, healthy_parity = run(0.5, None)
+    print(
+        f"  {'healthy (0.5x capacity)':<38s} {healthy['wall_seconds'] * 1000.0:10.1f} ms"
+    )
+    print(
+        f"    served {healthy['served']}/{healthy['requests']}  "
+        f"wall qps {healthy['wall_qps']:.0f}  "
+        f"p50 {healthy['latency_p50_seconds']:g}s  "
+        f"p99 {healthy['latency_p99_seconds']:g}s"
+    )
+    overload, overload_parity = run(2.0, SERVICE_CHAOS)
+    print(
+        f"  {'overload (2x capacity + chaos)':<38s} "
+        f"{overload['wall_seconds'] * 1000.0:10.1f} ms"
+    )
+    print(
+        f"    served {overload['served']}/{overload['requests']}  "
+        f"shed rate {overload['shed_rate']:.3f}  "
+        f"admitted p99 {overload['latency_p99_seconds']:g}s"
+    )
+    sheds_typed = overload["shed_rate"] > 0.0 and all(
+        status in (
+            "ok", "invalid", "throttled", "overloaded",
+            "deadline_exceeded", "circuit_open", "failed",
+        )
+        for status in overload["status_counts"]
+    )
+    print(f"  served answers bit-identical to direct calls: "
+          f"{healthy_parity and overload_parity}")
+    print(f"  typed shedding under overload: {sheds_typed}")
+    return {
+        "capacity_rps": capacity_rps,
+        "config": config.describe(),
+        "chaos": SERVICE_CHAOS.describe(),
+        "healthy": healthy,
+        "overload": overload,
+        "parity": {
+            "service_parity": healthy_parity,
+            "service_chaos_parity": overload_parity,
+            "service_sheds_typed_under_overload": sheds_typed,
+        },
+    }
 
 
 def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
@@ -407,6 +524,9 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
     )
     print(f"  shared-build speedup: {sweep_cache_gain:.2f}x")
 
+    print("reach service (admission, coalescing, overload):")
+    service_stage = _service_stage(simulation)
+
     print("end-to-end estimation (collect cached):")
     model = UniquenessModel(
         fresh_api(),
@@ -469,7 +589,14 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "scenario_handwired": handwired_sweep_s,
             "sweep_cache_uncached": uncached_sweep_s,
             "sweep_cache_cached": cached_sweep_s,
+            "service_healthy_run": service_stage["healthy"]["wall_seconds"],
+            "service_overload_run": service_stage["overload"]["wall_seconds"],
             "estimate": estimate_s,
+        },
+        "service": {
+            key: value
+            for key, value in service_stage.items()
+            if key != "parity"
         },
         "speedups": {
             "collect": scalar_collect_s / panel_collect_s,
@@ -494,6 +621,7 @@ def run_benchmark(factor: int, n_bootstrap: int, shard_tiles: int) -> dict:
             "scenario_sweep_identical": sweep_identical,
             "sweep_cache_identical": sweep_cache_identical,
             "sweep_cache_built_once": sweep_cache_built_once,
+            **service_stage["parity"],
         },
         "sample_cutpoints": {
             str(probability): estimate.n_p
@@ -552,6 +680,20 @@ def main() -> int:
         help="exit non-zero when the fault-tolerance layer (retry policy + "
         "zero-rate fault plan) costs more than this fraction on the sharded "
         "collect when no faults fire",
+    )
+    parser.add_argument(
+        "--min-service-qps",
+        type=float,
+        default=None,
+        help="exit non-zero unless the reach service sustains this wall-clock "
+        "qps on the healthy (half-capacity) trace",
+    )
+    parser.add_argument(
+        "--max-service-p99",
+        type=float,
+        default=None,
+        help="exit non-zero when the admitted-request P99 (virtual seconds) "
+        "under the 2x-overload trace exceeds this bound",
     )
     parser.add_argument(
         "--max-scenario-overhead",
@@ -627,6 +769,22 @@ def main() -> int:
             print(
                 f"FAIL: fault-layer overhead {achieved:+.1%} > allowed "
                 f"{args.max_fault_overhead:+.1%}"
+            )
+            failed = True
+    if args.min_service_qps is not None:
+        achieved = record["service"]["healthy"]["wall_qps"]
+        if achieved < args.min_service_qps:
+            print(
+                f"FAIL: service wall qps {achieved:.0f} < required "
+                f"{args.min_service_qps:.0f}"
+            )
+            failed = True
+    if args.max_service_p99 is not None:
+        achieved = record["service"]["overload"]["latency_p99_seconds"]
+        if achieved > args.max_service_p99:
+            print(
+                f"FAIL: service admitted P99 {achieved:g}s under 2x overload "
+                f"> allowed {args.max_service_p99:g}s"
             )
             failed = True
     if args.max_scenario_overhead is not None:

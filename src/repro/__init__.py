@@ -46,10 +46,11 @@ from .errors import (
     PanelError,
     PopulationError,
     ReproError,
+    ServiceError,
     ShardFailedError,
     TransientApiError,
 )
-from .faults import FaultPlan, RetryPolicy
+from .faults import FaultPlan, RetryPolicy, WallClockRetryPolicy
 from .pipeline import (
     Simulation,
     assemble_simulation,
@@ -70,6 +71,14 @@ from .scenarios import (
     list_scenarios,
     register_scenario,
     run_scenario,
+)
+from .service import (
+    ReachRequest,
+    ReachResponse,
+    ReachService,
+    RequestTrace,
+    ServiceConfig,
+    run_trace,
 )
 from .simclock import SimClock
 
@@ -95,11 +104,17 @@ __all__ = [
     "PopulationConfig",
     "PopulationError",
     "ReachModelConfig",
+    "ReachRequest",
+    "ReachResponse",
+    "ReachService",
     "ReproError",
     "ReproductionConfig",
+    "RequestTrace",
     "RetryPolicy",
     "RunManifest",
     "ScenarioSpec",
+    "ServiceConfig",
+    "ServiceError",
     "ShardFailedError",
     "SimClock",
     "Simulation",
@@ -107,6 +122,7 @@ __all__ = [
     "SweepRunner",
     "TransientApiError",
     "UniquenessConfig",
+    "WallClockRetryPolicy",
     "__version__",
     "assemble_simulation",
     "build_cache",
@@ -122,6 +138,7 @@ __all__ = [
     "quick_config",
     "register_scenario",
     "run_scenario",
+    "run_trace",
     "simulation_fingerprint",
     "stable_fingerprint",
 ]

@@ -343,7 +343,11 @@ class AdsManagerAPI:
         under the fault layer: shard retries and worker-crash resubmits
         (:mod:`repro.faults`) re-run pure compute tasks that never touch
         this API, so no attempt — first, failed or repeated — can drain
-        the bucket or advance the clock a second time.
+        the bucket or advance the clock a second time.  The reach
+        service's coalescer (:mod:`repro.service`) leans on the same
+        contract: each tick folds every admitted request into one matrix
+        and settles one merged bill here, regardless of how many tenants
+        contributed rows or how many retries a tick burned.
         """
         self._throttle_bulk(bill.reach_estimates)
 

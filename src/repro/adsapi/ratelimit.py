@@ -39,6 +39,28 @@ class TokenBucket:
         self._refill()
         return self._tokens
 
+    @property
+    def rate_per_minute(self) -> float:
+        """The configured refill rate, in tokens per minute."""
+        return self._rate_per_second * 60.0
+
+    @property
+    def burst(self) -> int:
+        """The configured burst capacity, in tokens."""
+        return int(self._capacity)
+
+    def describe(self) -> dict:
+        """A JSON-friendly snapshot of configuration plus current level.
+
+        The reach service reports one of these per tenant admission
+        bucket in its stats endpoint.
+        """
+        return {
+            "requests_per_minute": self.rate_per_minute,
+            "burst": self.burst,
+            "available_tokens": self.available_tokens,
+        }
+
     def try_acquire(self, tokens: float = 1.0) -> bool:
         """Consume ``tokens`` if available; return whether it succeeded."""
         if tokens <= 0:

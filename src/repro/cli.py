@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections import Counter
 from dataclasses import replace
 from pathlib import Path
@@ -51,10 +52,14 @@ from .io import (
     uniqueness_report_to_dict,
 )
 from ._rng import derive_seed
-from .errors import ConfigurationError, ReproError
-from .faults import FaultPlan, RetryPolicy
+from .adsapi import AdsManagerAPI
+from .config import PlatformConfig
+from .errors import ConfigurationError, ReproError, ServiceError
+from .faults import FaultPlan, RetryPolicy, WallClockRetryPolicy
 from .pipeline import Simulation
 from .exec import ShardExecutor
+from .service import ReachService, RequestTrace, ServiceConfig, run_trace
+from .simclock import SimClock
 from .scenarios import (
     ScenarioSpec,
     SweepRunner,
@@ -67,9 +72,12 @@ from .scenarios.sweep import ON_ERROR_MODES, coerce_axis_value
 
 #: Exit codes of the console script: 0 success, 1 domain-level failure
 #: (e.g. dead-lettered scenarios, --fail-on-success), 2 configuration
-#: errors, 3 execution failures.  Argparse usage errors also exit 2.
+#: errors, 3 execution failures, 4 service-layer failures (the reach
+#: service's typed rejections surfacing as errors).  Argparse usage
+#: errors also exit 2.
 EXIT_CONFIG_ERROR = 2
 EXIT_EXEC_ERROR = 3
+EXIT_SERVICE_ERROR = 4
 
 
 def _build(args: argparse.Namespace) -> Simulation:
@@ -350,10 +358,21 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
 def _sweep_fault_layer(
     args: argparse.Namespace,
 ) -> tuple[RetryPolicy | None, FaultPlan | None]:
-    """The (retry, faults) pair requested by --retries/--fault-rate."""
-    retry = (
-        RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
-    )
+    """The (retry, faults) pair requested by --retries/--fault-rate.
+
+    ``--wall-clock-retries`` swaps the simulated-time policy for
+    :class:`WallClockRetryPolicy` (seeded full jitter, real sleeps
+    between attempts) — the run manifest notes which clock a sweep used.
+    """
+    if getattr(args, "wall_clock_retries", False):
+        def policy(max_attempts: int) -> RetryPolicy:
+            return WallClockRetryPolicy(
+                max_attempts=max_attempts,
+                jitter_seed=derive_seed(args.fault_seed or 0, "cli-wall-jitter"),
+            )
+    else:
+        policy = RetryPolicy
+    retry = policy(max_attempts=args.retries + 1) if args.retries else None
     faults = None
     if args.fault_rate:
         faults = FaultPlan(
@@ -365,7 +384,7 @@ def _sweep_fault_layer(
         if retry is None:
             # Injection without retries would just kill the sweep; pair it
             # with the plan's convergence bound by default.
-            retry = RetryPolicy(max_attempts=faults.max_faults_per_task + 1)
+            retry = policy(max_attempts=faults.max_faults_per_task + 1)
     return retry, faults
 
 
@@ -432,6 +451,100 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on reach service against a (generated or saved) trace.
+
+    Builds a warm simulation, stands up a :class:`~repro.service.ReachService`
+    over a fresh modern-platform API, replays a request trace through it
+    (``--trace FILE`` for a saved one, otherwise a seeded synthetic
+    workload from ``--duration``/``--rps``/``--tenants``) and prints the
+    run report: status counts, shed rate, P50/P99 virtual latency and
+    throughput.  ``--fault-rate`` injects deterministic chaos into the
+    service tick; ``--verify-parity`` re-checks every served answer
+    against a direct bulk call and fails loudly on any mismatch.
+    """
+    simulation = _build(args)
+    api = AdsManagerAPI(
+        simulation.reach_model,
+        platform=PlatformConfig.modern_2020(),
+        clock=SimClock(),
+    )
+    config = ServiceConfig(
+        tenant_requests_per_minute=args.tenant_rpm,
+        tenant_burst=args.tenant_burst,
+        max_queue_cells=args.max_queue_cells,
+        max_batch_cells=args.max_batch_cells,
+        tick_seconds=args.tick_seconds,
+        default_timeout_seconds=args.timeout_seconds,
+    )
+    retry, faults = _sweep_fault_layer(args)
+    service = ReachService(api, config=config, retry=retry, faults=faults)
+    if args.trace:
+        trace = RequestTrace.load(args.trace)
+        print(f"loaded trace: {args.trace} ({len(trace)} requests)")
+    else:
+        trace = RequestTrace.generate(
+            simulation.catalog,
+            seed=args.seed if args.seed is not None else 0,
+            duration_seconds=args.duration,
+            requests_per_second=args.rps,
+            tenants=args.tenants,
+            hot_tenant_share=args.hot_share,
+        )
+    if args.trace_out:
+        path = trace.save(args.trace_out)
+        print(f"wrote trace: {path}")
+    start = time.perf_counter()
+    report = run_trace(service, trace)
+    wall_seconds = time.perf_counter() - start
+    summary = report.summary()
+    served = len(report.completed)
+    print(
+        f"served {served}/{summary['responses']} requests over "
+        f"{summary['virtual_seconds']:g} virtual seconds "
+        f"({summary['ticks']} ticks, {wall_seconds:.3f}s wall)"
+    )
+    print(f"status counts: {summary['status_counts']}")
+    print(
+        f"shed rate: {summary['shed_rate']:.3f}  "
+        f"virtual qps: {summary['virtual_qps']:.2f}  "
+        f"wall qps: {served / wall_seconds if wall_seconds > 0 else float('inf'):.1f}"
+    )
+    print(
+        f"latency (virtual): p50 {summary['latency_p50_seconds']:g}s  "
+        f"p99 {summary['latency_p99_seconds']:g}s"
+    )
+    parity_ok = None
+    if args.verify_parity:
+        reference = AdsManagerAPI(
+            simulation.reach_model,
+            platform=PlatformConfig.modern_2020(),
+            clock=SimClock(),
+        )
+        failures = report.parity_failures(reference)
+        parity_ok = not failures
+        if failures:
+            print(
+                f"PARITY FAILURE: {len(failures)} served response(s) differ "
+                "from direct bulk calls",
+                file=sys.stderr,
+            )
+        else:
+            print(f"parity: all {served} served responses match direct calls")
+    _write_json(
+        args.output,
+        {
+            "summary": summary,
+            "wall_seconds": wall_seconds,
+            "service": service.stats(),
+            "parity_ok": parity_ok,
+        },
+    )
+    if parity_ok is False:
+        return 1
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Describe a deterministic fault plan (and preview what would fire)."""
     plan = FaultPlan(
@@ -445,8 +558,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
     for key, value in plan.describe().items():
         print(f"  {key}: {value}")
     retry = RetryPolicy(max_attempts=args.retries + 1)
-    print("retry policy:")
+    print("retry policy (sim clock — offline sweeps):")
     for key, value in retry.describe().items():
+        print(f"  {key}: {value}")
+    wall = WallClockRetryPolicy(
+        max_attempts=args.retries + 1,
+        jitter_seed=derive_seed(args.seed or 0, "cli-wall-jitter"),
+    )
+    print("retry policy (wall clock — always-on service, full jitter):")
+    for key, value in wall.describe().items():
         print(f"  {key}: {value}")
     decisions = plan.preview(args.tasks, args.attempts)
     print(
@@ -655,7 +775,97 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed of the injected fault plan (chaos replays bit-identically)",
     )
+    scenario_sweep.add_argument(
+        "--wall-clock-retries",
+        action="store_true",
+        help="back off on real time with seeded full jitter instead of the "
+        "simulated clock (the manifest notes which clock a run used)",
+    )
     scenario_sweep.set_defaults(handler=cmd_scenario_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on reach service against a request trace",
+    )
+    add_common(serve)
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE", help="replay a saved request trace"
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="save the (generated) trace for exact replay",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=30.0, help="generated-trace span (virtual s)"
+    )
+    serve.add_argument(
+        "--rps", type=float, default=8.0, help="generated-trace arrival rate"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4, help="generated-trace tenant count"
+    )
+    serve.add_argument(
+        "--hot-share",
+        type=float,
+        default=0.0,
+        help="share of generated requests sent by one hot tenant (0 = even)",
+    )
+    serve.add_argument(
+        "--tenant-rpm",
+        type=float,
+        default=600.0,
+        help="per-tenant admission rate (cells per minute)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=int, default=50, help="per-tenant admission burst (cells)"
+    )
+    serve.add_argument(
+        "--max-queue-cells", type=int, default=256, help="bound on queued cells"
+    )
+    serve.add_argument(
+        "--max-batch-cells", type=int, default=64, help="cell budget per coalesced tick"
+    )
+    serve.add_argument(
+        "--tick-seconds", type=float, default=1.0, help="virtual seconds per tick"
+    )
+    serve.add_argument(
+        "--timeout-seconds",
+        type=float,
+        default=30.0,
+        help="default request deadline (virtual seconds)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry budget per admitted request against injected faults",
+    )
+    serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject deterministic chaos into the service tick",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None, help="seed of the injected fault plan"
+    )
+    serve.add_argument(
+        "--wall-clock-retries",
+        action="store_true",
+        help="compute retry backoff with the wall-clock policy's full jitter "
+        "(delays still elapse in service virtual time)",
+    )
+    serve.add_argument(
+        "--verify-parity",
+        action="store_true",
+        help="re-check every served answer against a direct bulk call",
+    )
+    serve.add_argument(
+        "--output", default=None, metavar="FILE", help="write the run report as JSON"
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     faults = subparsers.add_parser(
         "faults",
@@ -685,8 +895,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     Library failures surface as a one-line stderr diagnostic and a
     distinct exit code — :data:`EXIT_CONFIG_ERROR` (2) for configuration
-    errors, :data:`EXIT_EXEC_ERROR` (3) for everything else the library
-    raises — never a traceback.
+    errors, :data:`EXIT_SERVICE_ERROR` (4) for reach-service failures,
+    :data:`EXIT_EXEC_ERROR` (3) for everything else the library raises —
+    never a traceback.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -695,6 +906,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ConfigurationError as error:
         print(f"repro-facebook: configuration error: {error}", file=sys.stderr)
         return EXIT_CONFIG_ERROR
+    except ServiceError as error:
+        print(
+            f"repro-facebook: service error: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_SERVICE_ERROR
     except ReproError as error:
         print(
             f"repro-facebook: {type(error).__name__}: {error}", file=sys.stderr

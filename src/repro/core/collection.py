@@ -240,6 +240,14 @@ class AudienceSizeCollector:
         blocks ahead of consumption.  ``call_stats`` records each shard's
         calls as its block is yielded; a stream abandoned midway leaves the
         settled tokens spent but later shards' calls unrecorded.
+
+        Chaos note: with a kernel-depth :class:`~repro.faults.FaultPlan`
+        (``depth="kernel"``), injected faults fire *inside*
+        :func:`~repro.exec.tasks.run_reach_shard` — i.e. mid-stream,
+        after earlier blocks were already yielded and merged downstream.
+        Retried shards recompute from pure inputs, so a consumer folding
+        blocks into an accumulator stays bit-identical to the fault-free
+        stream (pinned by the kernel-depth chaos-parity tests).
         """
         executor = self._resolve_executor(executor, backend, workers, shard_size)
         runner = executor.runner()

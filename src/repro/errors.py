@@ -77,6 +77,57 @@ class InjectedFaultError(ExecError):
     """A deterministic shard-task exception injected by a fault plan."""
 
 
+class ServiceError(ReproError):
+    """Base class for failures raised by the always-on reach service.
+
+    The service front end (:mod:`repro.service`) degrades by *rejecting*
+    work with typed responses rather than queueing forever; each rejection
+    status maps to one subclass here, so callers that prefer exceptions
+    (``ReachResponse.raise_for_status``) and the CLI's exit-code map can
+    route on the type.
+    """
+
+
+class OverloadedError(ServiceError):
+    """The service's bounded queue is full; the request was shed.
+
+    ``retry_after_seconds`` hints when capacity is likely to free up
+    (one coalescer tick).
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before the service could complete it."""
+
+
+class CircuitOpenError(ServiceError):
+    """The tenant's circuit breaker is open; the request was not admitted.
+
+    ``retry_after_seconds`` is the remaining cooldown before the breaker
+    will admit a half-open probe.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class TenantThrottledError(ServiceError):
+    """The tenant's admission token bucket cannot cover the request."""
+
+    def __init__(self, message: str, *, retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class RequestFailedError(ServiceError):
+    """A request exhausted its retry budget against (injected) API faults."""
+
+
 class AdsApiError(ReproError):
     """Base class for errors returned by the simulated Ads Manager API."""
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..adsapi.reachestimate import apply_reporting_floor_matrix
 from ..cache import build_cache
+from ..faults import fire_inner
 from ..reach.backend import ReachBackend
 from ..reach.model import ReachModelSpec
 
@@ -94,7 +95,15 @@ def run_reach_shard(task: ReachShardTask) -> np.ndarray:
 
     Bit-identical to the matching rows of the fused panel pass: the prefix
     kernel is row-local, and the reporting floor is applied per cell.
+
+    This is a kernel-depth injection site: a ``FaultPlan(depth="kernel")``
+    published by the enclosing :func:`~repro.faults.guarded_call` raises
+    here — *inside* the task body, after any streaming consumer upstream
+    has already merged earlier blocks — so chaos runs exercise the
+    accumulator merge paths mid-stream rather than only at the guard
+    boundary.
     """
+    fire_inner("kernel")
     backend = resolve_backend(task.backend)
     kernel = getattr(backend, "prefix_audiences_panel", None)
     if kernel is not None:

@@ -22,8 +22,25 @@ demand and bit-reproducibly**:
   from), honouring ``retry_after_seconds`` hints from rate-limit style
   errors, with an optional per-task deadline.
 
+* :class:`WallClockRetryPolicy` — the same backoff contract driven by
+  *real* time with seeded full jitter: backoff sleeps on the wall clock
+  (injectable ``timer``/``sleeper`` keep tests virtual and reproducible)
+  and each delay is drawn uniformly from ``[0, exponential cap]`` so a
+  fleet of retrying callers decorrelates instead of stampeding.  This is
+  the policy an always-on service runs; offline sweeps keep the
+  simulated-time default.
+
 * :func:`guarded_call` — the retry loop itself: injects faults from a
   plan, retries per policy, and returns ``(value, attempts)``.
+
+* Injection depth — a plan fires either at the **guard** boundary (the
+  default: before the task body, where PR 6 injected) or, with
+  ``depth="kernel"``, *inside* the task body at the sites that opted in
+  via :func:`fire_inner` (the bulk reach kernel in
+  :mod:`repro.exec.tasks`, hence mid-stream inside ``collect_stream``
+  blocks).  Kernel-depth faults surface while accumulators hold partial
+  state, chaos-testing the merge paths; the decision stream is the same
+  pure function of ``(seed, task_index, attempt)`` either way.
 
 Determinism contract
 --------------------
@@ -39,7 +56,9 @@ so a discarded attempt leaves no billing trace by construction.
 
 from __future__ import annotations
 
+import contextvars
 import os
+import time
 from dataclasses import dataclass, fields, replace
 from typing import Callable, TypeVar
 
@@ -58,6 +77,10 @@ _R = TypeVar("_R")
 
 #: The fault kinds a plan can inject, in cumulative-rate order.
 FAULT_KINDS = ("transient_api", "task_error", "slow", "crash")
+
+#: Where a plan's decisions fire: at the retry-guard boundary (before the
+#: task body) or inside the task body at :func:`fire_inner` sites.
+FAULT_DEPTHS = ("guard", "kernel")
 
 #: Environment variables read by :func:`ambient_chaos` (the CI chaos lane).
 FAULT_RATE_ENV = "REPRO_FAULT_RATE"
@@ -105,6 +128,11 @@ class FaultPlan:
     #: index always run clean, which (together with a retry policy allowing
     #: more attempts) guarantees every chaos run converges.
     max_faults_per_task: int = 2
+    #: Where decisions fire: ``"guard"`` (before the task body, the PR 6
+    #: boundary) or ``"kernel"`` (inside the body at :func:`fire_inner`
+    #: sites — error kinds only, since latency and worker exits belong to
+    #: the guard layer).
+    depth: str = "guard"
 
     def __post_init__(self) -> None:
         for name in ("transient_rate", "error_rate", "slow_rate", "crash_rate"):
@@ -119,6 +147,15 @@ class FaultPlan:
             raise ConfigurationError("max_faults_per_task must be >= 0")
         if self.slow_seconds < 0 or self.retry_after_seconds < 0:
             raise ConfigurationError("fault latencies must be >= 0")
+        if self.depth not in FAULT_DEPTHS:
+            raise ConfigurationError(
+                f"unknown fault depth: {self.depth!r} (expected one of {FAULT_DEPTHS})"
+            )
+        if self.depth == "kernel" and (self.slow_rate > 0 or self.crash_rate > 0):
+            raise ConfigurationError(
+                "kernel-depth plans inject error kinds only — "
+                "slow_rate and crash_rate must be 0"
+            )
 
     # -- construction --------------------------------------------------------------
 
@@ -254,6 +291,34 @@ class FaultPlan:
         return decisions
 
 
+#: Per-attempt injection context published by :func:`guarded_call` for
+#: plans with ``depth != "guard"``: ``(plan, task_index, attempt)``.
+#: Contextvars propagate through the task body only, so kernel-depth
+#: faults cannot leak into unrelated code; process pools work because
+#: the guarded call itself executes inside the worker.
+_INNER_FAULTS: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_inner_faults", default=None
+)
+
+
+def fire_inner(site: str) -> None:
+    """Fire the ambient fault plan at a named inner injection site.
+
+    Deep code (the bulk API kernel, mid-stream collection blocks) calls
+    this with its site name; it raises iff a :func:`guarded_call` higher
+    up the stack published a plan whose ``depth`` matches ``site`` and
+    that plan decides a fault for the current ``(task, attempt)``.  A
+    no-op (and near-free) in every other situation, so hot paths can
+    call it unconditionally.
+    """
+    context = _INNER_FAULTS.get()
+    if context is None:
+        return
+    plan, task_index, attempt = context
+    if plan.depth == site:
+        plan.fire(task_index, attempt)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded retries with exponential backoff on simulated time.
@@ -299,12 +364,21 @@ class RetryPolicy:
         """True when ``error`` is transient under this policy."""
         return isinstance(error, self.retryable)
 
-    def backoff_delay(self, attempt: int, error: BaseException | None = None) -> float:
+    def backoff_delay(
+        self,
+        attempt: int,
+        error: BaseException | None = None,
+        *,
+        salt: object = None,
+    ) -> float:
         """Simulated seconds to back off after failed attempt ``attempt``.
 
         Exponential in the attempt index, capped by ``max_delay_seconds``;
         a ``retry_after_seconds`` hint on the error (rate-limit style)
         raises the floor — the caller must wait at least that long.
+        ``salt`` is accepted for interface parity with the jittered
+        wall-clock policy (which decorrelates per-caller delays with it)
+        and ignored here — simulated backoff is deterministic by design.
         """
         delay = min(
             self.base_delay_seconds * self.multiplier ** max(attempt, 0),
@@ -315,9 +389,14 @@ class RetryPolicy:
             delay = max(delay, float(hint))
         return delay
 
+    def waiter(self) -> "BackoffWaiter":
+        """A fresh per-task waiter measuring backoff on a private sim clock."""
+        return _SimWaiter()
+
     def describe(self) -> dict:
         """A JSON-friendly view of the policy's knobs."""
         return {
+            "clock": "sim",
             "max_attempts": self.max_attempts,
             "base_delay_seconds": self.base_delay_seconds,
             "multiplier": self.multiplier,
@@ -325,6 +404,115 @@ class RetryPolicy:
             "deadline_seconds": self.deadline_seconds,
             "retryable": tuple(cls.__name__ for cls in self.retryable),
         }
+
+
+@dataclass(frozen=True)
+class WallClockRetryPolicy(RetryPolicy):
+    """Bounded retries with full-jitter exponential backoff on real time.
+
+    The backoff *contract* is :class:`RetryPolicy`'s — bounded attempts,
+    exponential cap, ``retry_after_seconds`` floors, optional deadline —
+    but the clock is the wall clock: :func:`guarded_call` genuinely sleeps
+    between attempts and measures the deadline against elapsed real time.
+    This is the policy a long-lived service runs (offline sweeps keep the
+    simulated default so chaos drills cost zero wall clock).
+
+    Each delay uses *full jitter*: drawn uniformly from ``[0, cap]`` where
+    ``cap`` is the deterministic exponential delay, so many callers
+    retrying the same outage decorrelate instead of stampeding.  The draw
+    is seeded — a pure hash of ``(jitter_seed, attempt, salt)`` — so every
+    schedule is reproducible; pass a distinct ``salt`` per caller (the
+    reach service salts with the request id) to decorrelate them.
+
+    ``timer`` / ``sleeper`` default to :func:`time.monotonic` /
+    :func:`time.sleep`; tests inject a virtual pair to drive the policy
+    without sleeping (the policy stays picklable because the defaults are
+    resolved lazily, not stored).
+    """
+
+    #: Seed of the full-jitter draws (reproducible backoff schedules).
+    jitter_seed: int = 0
+    #: Monotonic-seconds source (``None`` → :func:`time.monotonic`).
+    timer: Callable[[], float] | None = None
+    #: Blocking sleep (``None`` → :func:`time.sleep`).
+    sleeper: Callable[[float], None] | None = None
+
+    def backoff_delay(
+        self,
+        attempt: int,
+        error: BaseException | None = None,
+        *,
+        salt: object = None,
+    ) -> float:
+        """Wall-clock seconds to back off: full jitter under the exponential cap."""
+        cap = min(
+            self.base_delay_seconds * self.multiplier ** max(attempt, 0),
+            self.max_delay_seconds,
+        )
+        fraction = stable_hash(self.jitter_seed, "wall-jitter", attempt, salt) / 2.0**64
+        delay = cap * fraction
+        hint = getattr(error, "retry_after_seconds", None)
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
+    def waiter(self) -> "BackoffWaiter":
+        """A waiter that sleeps for real (or on the injected timer pair)."""
+        return _WallWaiter(
+            self.timer if self.timer is not None else time.monotonic,
+            self.sleeper if self.sleeper is not None else time.sleep,
+        )
+
+    def describe(self) -> dict:
+        """A JSON-friendly view of the policy's knobs."""
+        payload = super().describe()
+        payload["clock"] = "wall"
+        payload["jitter"] = "full"
+        payload["jitter_seed"] = self.jitter_seed
+        return payload
+
+
+class BackoffWaiter:
+    """How :func:`guarded_call` spends backoff time (sim or wall clock)."""
+
+    def elapsed(self) -> float:
+        """Seconds this task has spent backing off (plus slow faults)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def wait(self, seconds: float) -> None:
+        """Spend ``seconds`` of backoff time."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class _SimWaiter(BackoffWaiter):
+    """Backoff on a private simulated clock (free, never the billing clock)."""
+
+    def __init__(self) -> None:
+        self._clock = SimClock()
+
+    def elapsed(self) -> float:
+        return self._clock.now()
+
+    def wait(self, seconds: float) -> None:
+        self._clock.advance(seconds)
+
+
+class _WallWaiter(BackoffWaiter):
+    """Backoff that really sleeps, measured against a monotonic timer."""
+
+    def __init__(
+        self, timer: Callable[[], float], sleeper: Callable[[float], None]
+    ) -> None:
+        self._timer = timer
+        self._sleeper = sleeper
+        self._start = timer()
+
+    def elapsed(self) -> float:
+        return self._timer() - self._start
+
+    def wait(self, seconds: float) -> None:
+        if seconds > 0:
+            self._sleeper(seconds)
 
 
 def guarded_call(
@@ -341,12 +529,17 @@ def guarded_call(
 
     Returns ``(result, attempts)`` where ``attempts`` counts every try
     made here (earlier tries folded in via ``base_attempt`` are not
-    re-counted).  Faults decided by ``faults`` fire *before* the task
-    body — shard tasks are pure, so a failed attempt leaves no partial
-    state and the winning attempt's result is bit-identical to a
-    fault-free call.  Retryable errors (per ``retry``) back off on a
-    private :class:`~repro.simclock.SimClock`; non-retryable errors, an
-    exhausted attempt budget or a blown deadline re-raise the last error.
+    re-counted).  Guard-depth faults fire *before* the task body — shard
+    tasks are pure, so a failed attempt leaves no partial state and the
+    winning attempt's result is bit-identical to a fault-free call.
+    Kernel-depth plans are instead published for the duration of the
+    task body so :func:`fire_inner` sites deep inside it (the bulk API
+    kernel, mid-stream collection blocks) raise mid-work.  Retryable
+    errors (per ``retry``) back off through the policy's waiter — a
+    private :class:`~repro.simclock.SimClock` for the default policy, a
+    real sleep for :class:`WallClockRetryPolicy`; non-retryable errors,
+    an exhausted attempt budget or a blown deadline re-raise the last
+    error.
 
     ``base_attempt`` offsets the fault-decision stream: a coordinator
     resubmitting work after a pool crash passes the attempts already
@@ -354,26 +547,32 @@ def guarded_call(
     """
     max_attempts = retry.max_attempts if retry is not None else 1
     deadline = retry.deadline_seconds if retry is not None else None
-    clock = SimClock()
+    waiter = retry.waiter() if retry is not None else _SimWaiter()
     tries = 0
     while True:
         attempt = base_attempt + tries
         tries += 1
         try:
-            if faults is not None:
+            if faults is not None and faults.depth == "guard":
                 decision = faults.fire(index, attempt, hard_crash=hard_crash)
                 if decision is not None and decision.kind == "slow":
-                    clock.advance(decision.seconds)
+                    waiter.wait(decision.seconds)
+            if faults is not None and faults.depth != "guard":
+                token = _INNER_FAULTS.set((faults, index, attempt))
+                try:
+                    return fn(task), tries
+                finally:
+                    _INNER_FAULTS.reset(token)
             return fn(task), tries
         except Exception as error:
             if retry is None or not retry.is_retryable(error) or tries >= max_attempts:
                 _attach_attempts(error, tries)
                 raise
-            delay = retry.backoff_delay(attempt, error)
-            if deadline is not None and clock.now() + delay > deadline:
+            delay = retry.backoff_delay(attempt, error, salt=index)
+            if deadline is not None and waiter.elapsed() + delay > deadline:
                 _attach_attempts(error, tries)
                 raise
-            clock.advance(delay)
+            waiter.wait(delay)
 
 
 def _attach_attempts(error: BaseException, tries: int) -> None:

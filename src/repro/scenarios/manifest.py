@@ -108,8 +108,14 @@ class ManifestEntry:
 class RunManifest:
     """Ordered per-spec outcomes of one sweep run (insertion = grid order)."""
 
-    def __init__(self, entries: Iterable[ManifestEntry] = ()) -> None:
+    def __init__(
+        self,
+        entries: Iterable[ManifestEntry] = (),
+        *,
+        notes: Mapping | None = None,
+    ) -> None:
         self._entries: dict[str, ManifestEntry] = {}
+        self._notes: dict[str, object] = dict(notes or {})
         for entry in entries:
             self.record(entry)
 
@@ -119,6 +125,21 @@ class RunManifest:
         """Record (or overwrite) the outcome for one scenario."""
         self._entries[entry.scenario] = entry
         return self
+
+    def annotate(self, key: str, value: object) -> "RunManifest":
+        """Attach a run-level note (e.g. which retry clock the sweep used).
+
+        Notes are JSON-scalar metadata about *how* the run was executed —
+        they ride along in :meth:`to_dict`/:meth:`save` but never affect
+        entry matching or the resume contract.
+        """
+        self._notes[key] = value
+        return self
+
+    @property
+    def notes(self) -> dict:
+        """Run-level metadata notes (a copy)."""
+        return dict(self._notes)
 
     # -- views ---------------------------------------------------------------------
 
@@ -178,10 +199,13 @@ class RunManifest:
     # -- persistence ---------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "version": MANIFEST_VERSION,
             "entries": [entry.to_dict() for entry in self],
         }
+        if self._notes:
+            payload["notes"] = dict(self._notes)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "RunManifest":
@@ -194,7 +218,10 @@ class RunManifest:
         entries = payload.get("entries")
         if not isinstance(entries, list):
             raise ConfigurationError("manifest 'entries' must be a list")
-        return cls(ManifestEntry.from_dict(entry) for entry in entries)
+        return cls(
+            (ManifestEntry.from_dict(entry) for entry in entries),
+            notes=payload.get("notes"),
+        )
 
     def save(self, path: str | Path) -> Path:
         """Write the manifest as JSON (atomically: write-then-rename)."""

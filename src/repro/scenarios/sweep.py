@@ -56,7 +56,7 @@ from ..cache import build_cache
 from ..core.results import ResultSet, ScenarioResult
 from ..errors import ConfigurationError
 from ..exec import ShardExecutor
-from ..faults import FaultPlan, RetryPolicy, guarded_call
+from ..faults import FaultPlan, RetryPolicy, WallClockRetryPolicy, guarded_call
 from .experiments import run_scenario
 from .manifest import ManifestEntry, RunManifest
 from .spec import ScenarioSpec
@@ -367,7 +367,7 @@ class SweepRunner:
             resume = RunManifest.load(resume)
         retry, spec_faults, runner_faults = self._fault_split()
 
-        manifest = RunManifest()
+        manifest = RunManifest(notes={"retry_clock": _retry_clock_note(retry)})
         fingerprints = {spec.name: spec.fingerprint() for spec in resolved}
         positions = {spec.name: index for index, spec in enumerate(resolved)}
         pending: list[ScenarioSpec] = []
@@ -407,7 +407,8 @@ class SweepRunner:
         # Freshly run rows keep their live results (``raw`` included);
         # resumed rows hydrate the canonical fields from the manifest.
         ordered = RunManifest(
-            manifest.get(spec.name) for spec in resolved if spec.name in manifest
+            (manifest.get(spec.name) for spec in resolved if spec.name in manifest),
+            notes=manifest.notes,
         )
         results = ResultSet(
             live.get(entry.scenario) or entry.hydrate()
@@ -416,6 +417,20 @@ class SweepRunner:
         if manifest_path is not None:
             ordered.save(manifest_path)
         return SweepReport(results=results.finalize(), manifest=ordered)
+
+
+def _retry_clock_note(retry: RetryPolicy | None) -> str:
+    """Which clock drove retry backoff: "wall", "sim" or "none".
+
+    Recorded as a manifest note so a resumed or audited run can tell
+    whether its retries really slept (jittered wall clock) or elapsed on
+    the free simulated clock.
+    """
+    if retry is None:
+        return "none"
+    if isinstance(retry, WallClockRetryPolicy):
+        return "wall"
+    return "sim"
 
 
 def _entry_for(

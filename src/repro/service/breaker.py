@@ -1,0 +1,99 @@
+"""Per-tenant circuit breakers: one failing tenant degrades alone.
+
+A classic closed → open → half-open breaker keyed on *consecutive*
+request failures (injected :class:`~repro.errors.TransientApiError`-style
+faults that exhaust their retry budget).  While open, the tenant's new
+submissions are rejected at admission with a ``circuit_open`` response
+carrying the remaining cooldown — already-queued work still executes, so
+the breaker sheds future load without abandoning admitted requests.
+After the cooldown the breaker goes half-open and admits a bounded number
+of probe requests: the first probe success closes it, a probe failure
+reopens it for a fresh cooldown.
+
+All times are service virtual time, so breaker trajectories are
+bit-reproducible in tests and chaos soaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: The three breaker states.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+@dataclass
+class CircuitBreaker:
+    """A consecutive-failure circuit breaker on virtual time."""
+
+    #: Consecutive failures that trip the breaker open.
+    failure_threshold: int = 5
+    #: Virtual seconds an open breaker rejects before probing.
+    cooldown_seconds: float = 30.0
+    #: Admissions allowed in the half-open state before a verdict.
+    half_open_probes: int = 1
+
+    _state: str = field(default="closed", init=False)
+    _consecutive_failures: int = field(default=0, init=False)
+    _opened_at: float = field(default=0.0, init=False)
+    _probes_admitted: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
+        if self.cooldown_seconds <= 0:
+            raise ConfigurationError("cooldown_seconds must be positive")
+        if self.half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be at least 1")
+
+    @property
+    def state(self) -> str:
+        """Current state name (without advancing time)."""
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """Whether a new request from this tenant may be admitted at ``now``."""
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if now - self._opened_at < self.cooldown_seconds:
+                return False
+            self._state = "half_open"
+            self._probes_admitted = 0
+        if self._probes_admitted >= self.half_open_probes:
+            return False
+        self._probes_admitted += 1
+        return True
+
+    def retry_after(self, now: float) -> float:
+        """Remaining cooldown before the next probe could be admitted."""
+        if self._state != "open":
+            return 0.0
+        return max(0.0, self.cooldown_seconds - (now - self._opened_at))
+
+    def record_success(self) -> None:
+        """A request for this tenant completed: close and reset."""
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._probes_admitted = 0
+
+    def record_failure(self, now: float) -> None:
+        """A request failed; trip open on the threshold or a failed probe."""
+        self._consecutive_failures += 1
+        if self._state == "half_open" or (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = "open"
+            self._opened_at = now
+            self._probes_admitted = 0
+
+    def describe(self) -> dict:
+        """A JSON-friendly snapshot (state + failure streak)."""
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+        }

@@ -1,0 +1,134 @@
+"""Request/response types of the always-on reach service.
+
+One :class:`ReachRequest` is one tenant's prefix family — the ordered
+interest list whose every prefix audience the paper's attacker reads off
+the dashboard.  The service answers with a :class:`ReachResponse` whose
+``status`` names exactly what happened; rejected work is *always* a typed
+response (never an unbounded wait), so clients can distinguish "back off
+and retry" (``throttled``, ``overloaded``, ``circuit_open`` — these carry
+``retry_after_seconds`` hints) from "this request is gone"
+(``deadline_exceeded``, ``failed``, ``invalid``).
+
+Callers that prefer exceptions call :meth:`ReachResponse.raise_for_status`,
+which maps each non-``ok`` status onto the :class:`~repro.errors.ServiceError`
+hierarchy (and ``invalid`` onto the Ads API's own validation error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+    RequestFailedError,
+    TargetingValidationError,
+    TenantThrottledError,
+)
+
+#: Every status a :class:`ReachResponse` can carry.
+RESPONSE_STATUSES = (
+    "ok",
+    "invalid",
+    "throttled",
+    "overloaded",
+    "deadline_exceeded",
+    "circuit_open",
+    "failed",
+)
+
+
+@dataclass(frozen=True)
+class ReachRequest:
+    """One tenant's reach query: a whole ordered prefix family.
+
+    ``interests`` is the ordered interest-id list; the service returns one
+    Potential Reach value per prefix (``interests[:1]``, ``interests[:2]``,
+    …), exactly the row the bulk endpoint computes.  The request's
+    admission cost is one token per prefix — :attr:`cost` cells — matching
+    the per-cell billing of :meth:`~repro.adsapi.AdsManagerAPI.estimate_reach_matrix`.
+    """
+
+    tenant: str
+    interests: tuple[int, ...]
+    #: Seconds (service virtual time) the client will wait; ``None`` takes
+    #: the service default.
+    timeout_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigurationError("a reach request needs a non-empty tenant")
+        object.__setattr__(self, "interests", tuple(int(i) for i in self.interests))
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive when set")
+
+    @property
+    def cost(self) -> int:
+        """Admission/billing cost in reach-matrix cells (one per prefix)."""
+        return len(self.interests)
+
+
+@dataclass(frozen=True)
+class ReachResponse:
+    """The service's answer to one :class:`ReachRequest`."""
+
+    request: ReachRequest
+    #: One of :data:`RESPONSE_STATUSES`.
+    status: str
+    #: Potential Reach per prefix (``status == "ok"`` only), bit-identical
+    #: to a direct bulk-endpoint call for the same interests.
+    values: tuple[float, ...] | None = None
+    #: Human-readable reason for non-``ok`` statuses.
+    detail: str = ""
+    #: Backoff hint for retryable rejections, in service virtual seconds.
+    retry_after_seconds: float | None = None
+    #: Service virtual time the request was submitted / resolved.
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
+    #: Attempts the request burned against injected faults (>= 1 once it
+    #: reached the execution stage).
+    attempts: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in RESPONSE_STATUSES:
+            raise ConfigurationError(
+                f"unknown response status: {self.status!r} "
+                f"(expected one of {RESPONSE_STATUSES})"
+            )
+        if (self.status == "ok") != (self.values is not None):
+            raise ConfigurationError("values must be set iff status is 'ok'")
+
+    @property
+    def ok(self) -> bool:
+        """True when the request completed with reach values."""
+        return self.status == "ok"
+
+    @property
+    def latency_seconds(self) -> float:
+        """Virtual seconds from submission to resolution (any status)."""
+        return self.completed_at - self.submitted_at
+
+    def raise_for_status(self) -> None:
+        """Raise the typed error matching a non-``ok`` status (no-op on ``ok``)."""
+        if self.status == "ok":
+            return
+        message = self.detail or f"reach request rejected: {self.status}"
+        if self.status == "invalid":
+            raise TargetingValidationError(message)
+        if self.status == "throttled":
+            raise TenantThrottledError(
+                message, retry_after_seconds=self.retry_after_seconds
+            )
+        if self.status == "overloaded":
+            raise OverloadedError(
+                message, retry_after_seconds=self.retry_after_seconds
+            )
+        if self.status == "deadline_exceeded":
+            raise DeadlineExceededError(message)
+        if self.status == "circuit_open":
+            raise CircuitOpenError(
+                message, retry_after_seconds=self.retry_after_seconds
+            )
+        raise RequestFailedError(message)

@@ -1,0 +1,297 @@
+"""Replayable request traces and the trace driver for the reach service.
+
+A :class:`RequestTrace` is a seeded, serialisable arrival schedule —
+"tenant T submits this prefix family at virtual second S" — generated
+from an interest catalog with the library-wide seed discipline, so the
+same (seed, rate, tenants) triple always produces the same workload.
+:func:`run_trace` replays one against a :class:`~repro.service.loop.ReachService`
+tick by tick and aggregates every response into a
+:class:`ServiceRunReport` (status counts, latency percentiles,
+throughput, parity check hooks).  The CLI's ``repro-facebook serve``
+command and the service benchmark stage both drive this path, so a
+benchmark run can be re-executed verbatim from a saved trace file.
+
+Termination is guaranteed without arrivals being gated on completions:
+every admitted entry carries a deadline, so once the trace's arrivals
+stop the queue drains — by service or by expiry — within a bounded
+number of ticks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from .._rng import as_generator, derive_seed
+from ..errors import ConfigurationError
+from .coalescer import direct_reach
+from .responses import ReachRequest, ReachResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adsapi import AdsManagerAPI
+    from ..catalog import InterestCatalog
+    from .loop import ReachService
+
+#: On-disk trace format version.
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One scheduled arrival: a request plus its virtual arrival time."""
+
+    at: float
+    request: ReachRequest
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("arrival times must be >= 0")
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A seeded, replayable arrival schedule (sorted by arrival time)."""
+
+    requests: tuple[TraceRequest, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.requests, key=lambda item: (item.at, item.request.tenant))
+        )
+        object.__setattr__(self, "requests", ordered)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Virtual span from time zero to the last arrival."""
+        return self.requests[-1].at if self.requests else 0.0
+
+    @property
+    def total_cells(self) -> int:
+        """Summed request cost over the whole trace."""
+        return sum(item.request.cost for item in self.requests)
+
+    @classmethod
+    def generate(
+        cls,
+        catalog: "InterestCatalog",
+        *,
+        seed: int,
+        duration_seconds: float,
+        requests_per_second: float,
+        tenants: int = 4,
+        min_interests: int = 2,
+        max_interests: int = 8,
+        timeout_seconds: float | None = None,
+        hot_tenant_share: float = 0.0,
+    ) -> "RequestTrace":
+        """A uniform-arrival workload over ``tenants`` synthetic accounts.
+
+        Arrivals are jittered uniformly inside each expected inter-arrival
+        slot; interests are sampled dup-free from ``catalog``.  With
+        ``hot_tenant_share`` in ``(0, 1]``, that share of requests goes to
+        tenant 0 and the rest spread evenly — the fairness and overload
+        tests use this to model one tenant swamping the service.
+        """
+        if duration_seconds <= 0 or requests_per_second <= 0:
+            raise ConfigurationError("trace duration and rate must be positive")
+        if tenants < 1:
+            raise ConfigurationError("tenants must be at least 1")
+        if not 1 <= min_interests <= max_interests:
+            raise ConfigurationError(
+                "need 1 <= min_interests <= max_interests for trace generation"
+            )
+        if not 0.0 <= hot_tenant_share <= 1.0:
+            raise ConfigurationError("hot_tenant_share must be in [0, 1]")
+        rng = as_generator(derive_seed(seed, "service-trace"))
+        n_requests = max(1, int(round(duration_seconds * requests_per_second)))
+        slot = duration_seconds / n_requests
+        requests = []
+        for i in range(n_requests):
+            at = (i + float(rng.random())) * slot
+            if hot_tenant_share > 0.0 and float(rng.random()) < hot_tenant_share:
+                tenant_index = 0
+            else:
+                tenant_index = int(rng.integers(0, tenants))
+            width = int(rng.integers(min_interests, max_interests + 1))
+            interests = catalog.sample_ids(width, rng)
+            requests.append(
+                TraceRequest(
+                    at=at,
+                    request=ReachRequest(
+                        tenant=f"tenant-{tenant_index:02d}",
+                        interests=tuple(int(x) for x in interests),
+                        timeout_seconds=timeout_seconds,
+                    ),
+                )
+            )
+        return cls(requests=tuple(requests))
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TRACE_VERSION,
+            "requests": [
+                {
+                    "at": item.at,
+                    "tenant": item.request.tenant,
+                    "interests": list(item.request.interests),
+                    "timeout_seconds": item.request.timeout_seconds,
+                }
+                for item in self.requests
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RequestTrace":
+        version = payload.get("version")
+        if version != TRACE_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace version: {version!r} (expected {TRACE_VERSION})"
+            )
+        return cls(
+            requests=tuple(
+                TraceRequest(
+                    at=float(item["at"]),
+                    request=ReachRequest(
+                        tenant=item["tenant"],
+                        interests=tuple(int(x) for x in item["interests"]),
+                        timeout_seconds=item.get("timeout_seconds"),
+                    ),
+                )
+                for item in payload.get("requests", [])
+            )
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestTrace":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class ServiceRunReport:
+    """Everything one trace replay produced, aggregated."""
+
+    responses: tuple[ReachResponse, ...]
+    #: Virtual seconds the replay spanned (arrivals through drain).
+    virtual_seconds: float
+    ticks: int
+
+    @property
+    def status_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for response in self.responses:
+            counts[response.status] = counts.get(response.status, 0) + 1
+        return counts
+
+    @property
+    def completed(self) -> tuple[ReachResponse, ...]:
+        return tuple(r for r in self.responses if r.ok)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of all responses that were typed rejections."""
+        if not self.responses:
+            return 0.0
+        return 1.0 - len(self.completed) / len(self.responses)
+
+    @property
+    def ok_latencies(self) -> tuple[float, ...]:
+        """Virtual submission→completion latency of each served request."""
+        return tuple(r.latency_seconds for r in self.completed)
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the served-request virtual latency."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError("percentile must be in [0, 100]")
+        latencies = sorted(self.ok_latencies)
+        if not latencies:
+            return float("nan")
+        rank = max(1, int(-(-q * len(latencies) // 100))) if q > 0 else 1
+        return latencies[min(rank, len(latencies)) - 1]
+
+    @property
+    def virtual_qps(self) -> float:
+        """Served requests per virtual second."""
+        if self.virtual_seconds <= 0:
+            return 0.0
+        return len(self.completed) / self.virtual_seconds
+
+    def parity_failures(
+        self,
+        reference: "AdsManagerAPI | Callable[[ReachRequest], Sequence[float]]",
+        *,
+        locations: Sequence[str] | None = None,
+    ) -> list[ReachResponse]:
+        """Served responses whose values differ from a direct bulk call.
+
+        ``reference`` is either a *fresh* Ads API (billed by the check,
+        so never the service's own instance) or a callable returning the
+        expected values for a request.  Bit-equality, not tolerance: the
+        service parity contract is exact.
+        """
+        if callable(reference) and not hasattr(reference, "estimate_reach_matrix"):
+            expected = reference
+        else:
+            api = reference
+
+            def expected(request: ReachRequest) -> Sequence[float]:
+                return direct_reach(api, request, locations=locations)
+
+        failures = []
+        for response in self.completed:
+            if tuple(expected(response.request)) != response.values:
+                failures.append(response)
+        return failures
+
+    def summary(self) -> dict:
+        """The JSON-friendly digest the CLI and benchmark stage print."""
+        return {
+            "responses": len(self.responses),
+            "status_counts": self.status_counts,
+            "shed_rate": self.shed_rate,
+            "virtual_seconds": self.virtual_seconds,
+            "ticks": self.ticks,
+            "virtual_qps": self.virtual_qps,
+            "latency_p50_seconds": self.latency_percentile(50.0),
+            "latency_p99_seconds": self.latency_percentile(99.0),
+        }
+
+
+def run_trace(service: "ReachService", trace: RequestTrace) -> ServiceRunReport:
+    """Replay ``trace`` against ``service`` and drain the queue.
+
+    Arrivals with ``at <= now`` are submitted before each tick (in trace
+    order), then the service ticks; after the last arrival the loop keeps
+    ticking until the queue is empty.  Deterministic end to end: the same
+    service construction and trace give bit-identical reports.
+    """
+    responses: list[ReachResponse] = []
+    pending = list(trace.requests)
+    cursor = 0
+    start = service.now
+    ticks = 0
+    while cursor < len(pending) or service.queue_depth > 0:
+        while cursor < len(pending) and pending[cursor].at <= service.now - start:
+            rejection = service.submit(pending[cursor].request)
+            if rejection is not None:
+                responses.append(rejection)
+            cursor += 1
+        responses.extend(service.tick())
+        ticks += 1
+    return ServiceRunReport(
+        responses=tuple(responses),
+        virtual_seconds=service.now - start,
+        ticks=ticks,
+    )

@@ -336,6 +336,25 @@ class TestScenarioSweepFaultTolerance:
         assert "2 resumed" in capsys.readouterr().out
         assert json.loads(resumed.read_text()) == json.loads(clean.read_text())
 
+    def test_manifest_notes_record_the_retry_clock(self, tmp_path, capsys):
+        spec_file = self._grid_file(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        assert main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--retries", "1", "--manifest", str(manifest),
+            ]
+        ) == 0
+        assert json.loads(manifest.read_text())["notes"]["retry_clock"] == "sim"
+        assert main(
+            [
+                "scenario", "sweep", "--spec", str(spec_file),
+                "--retries", "1", "--wall-clock-retries",
+                "--manifest", str(manifest),
+            ]
+        ) == 0
+        assert json.loads(manifest.read_text())["notes"]["retry_clock"] == "wall"
+
     def test_resume_with_a_bad_manifest_exits_2(self, tmp_path, capsys):
         spec_file = self._grid_file(tmp_path)
         bad = tmp_path / "bad.json"
@@ -353,7 +372,11 @@ class TestFaultsCommand:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "fault plan:" in out
-        assert "retry policy:" in out
+        assert "retry policy (sim clock" in out
+        assert "retry policy (wall clock" in out
+        assert "clock: sim" in out
+        assert "clock: wall" in out
+        assert "jitter: full" in out
         assert "preview:" in out
         assert "convergence: guaranteed" in out
 
@@ -367,6 +390,61 @@ class TestFaultsCommand:
         first = capsys.readouterr().out
         main(["faults", "--seed", "9"])
         assert capsys.readouterr().out == first
+
+
+class TestServeCommand:
+    """`repro-facebook serve`: the always-on reach service smoke path."""
+
+    def test_serves_a_chaotic_trace_with_parity(self, tmp_path, capsys):
+        output = tmp_path / "serve.json"
+        exit_code = main(
+            [
+                "serve", *FACTOR, "--seed", "3",
+                "--duration", "5", "--rps", "4", "--tenants", "2",
+                "--fault-rate", "0.2", "--retries", "3",
+                "--verify-parity", "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "shed rate" in out
+        assert "parity: all" in out
+        payload = json.loads(output.read_text())
+        assert payload["parity_ok"] is True
+        assert payload["summary"]["status_counts"].get("ok", 0) >= 1
+        assert payload["service"]["counters"]["submitted"] == sum(
+            payload["summary"]["status_counts"].values()
+        )
+
+    def test_saved_trace_replays_bit_identically(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        args = ["serve", *FACTOR, "--seed", "5", "--duration", "4", "--rps", "3"]
+        assert main(
+            [*args, "--trace-out", str(trace_file), "--output", str(first)]
+        ) == 0
+        assert trace_file.exists()
+        assert main(
+            [*args, "--trace", str(trace_file), "--output", str(second)]
+        ) == 0
+        capsys.readouterr()
+        # Wall-clock timing differs between runs; everything virtual must not.
+        a, b = json.loads(first.read_text()), json.loads(second.read_text())
+        assert a["summary"] == b["summary"]
+        assert a["service"]["counters"] == b["service"]["counters"]
+
+    def test_service_errors_exit_4_with_one_line(self, capsys, monkeypatch):
+        from repro.errors import OverloadedError
+
+        def explode(args):
+            raise OverloadedError("queue full", retry_after_seconds=1.0)
+
+        monkeypatch.setattr("repro.cli.cmd_serve", explode)
+        exit_code = main(["serve", *FACTOR])
+        assert exit_code == 4
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro-facebook: service error: OverloadedError:")
 
 
 class TestScenarioSweepSpecFileErrors:

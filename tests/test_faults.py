@@ -18,12 +18,14 @@ The load-bearing claims, each pinned here:
 from __future__ import annotations
 
 import json
+import pickle
 
 import numpy as np
 import pytest
 
 from repro.adsapi import AdsManagerAPI
 from repro.core.collection import AudienceSizeCollector
+from repro.core.quantiles import AudienceAccumulator
 from repro.core.results import ScenarioResult
 from repro.core.selection import RandomSelection
 from repro.errors import (
@@ -36,11 +38,14 @@ from repro.errors import (
 )
 from repro.exec import ShardExecutor, make_runner
 from repro.faults import (
+    FAULT_DEPTHS,
     FAULT_RATE_ENV,
     FAULT_SEED_ENV,
     FaultPlan,
     RetryPolicy,
+    WallClockRetryPolicy,
     ambient_chaos,
+    fire_inner,
     guarded_call,
     run_guarded,
 )
@@ -217,6 +222,170 @@ class TestGuardedCall:
         assert (value, attempts) == (36, 1)
 
 
+class TestWallClockRetryPolicy:
+    """The service-side retry policy: same contract, real clock, full jitter."""
+
+    def _virtual_timer_pair(self):
+        """A fake (timer, sleeper) pair: sleeping advances the timer."""
+        now = [0.0]
+        sleeps: list[float] = []
+
+        def timer() -> float:
+            return now[0]
+
+        def sleeper(seconds: float) -> None:
+            sleeps.append(seconds)
+            now[0] += seconds
+
+        return timer, sleeper, sleeps
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        policy = WallClockRetryPolicy(jitter_seed=7)
+        twin = WallClockRetryPolicy(jitter_seed=7)
+        pairs = [(a, s) for a in range(4) for s in range(3)]
+        delays = [policy.backoff_delay(a, salt=s) for a, s in pairs]
+        assert delays == [twin.backoff_delay(a, salt=s) for a, s in pairs]
+        assert delays != [
+            WallClockRetryPolicy(jitter_seed=8).backoff_delay(a, salt=s)
+            for a, s in pairs
+        ]
+
+    def test_full_jitter_stays_under_the_exponential_cap(self):
+        wall = WallClockRetryPolicy(jitter_seed=3)
+        sim = RetryPolicy()  # shares the exponential-cap knobs
+        for attempt in range(12):
+            cap = sim.backoff_delay(attempt)
+            for salt in range(5):
+                assert 0.0 <= wall.backoff_delay(attempt, salt=salt) <= cap
+
+    def test_salts_decorrelate_concurrent_callers(self):
+        # Same attempt, different callers: the reach service salts with
+        # the request id precisely so a shared outage does not stampede.
+        policy = WallClockRetryPolicy(jitter_seed=1)
+        delays = {policy.backoff_delay(0, salt=s) for s in range(16)}
+        assert len(delays) > 1
+
+    def test_retry_after_hint_raises_the_floor(self):
+        policy = WallClockRetryPolicy(jitter_seed=1, base_delay_seconds=0.01)
+        hinted = TransientApiError("throttled", retry_after_seconds=9.0)
+        assert policy.backoff_delay(0, hinted, salt=0) >= 9.0
+
+    def test_describe_reports_the_clock(self):
+        wall = WallClockRetryPolicy(jitter_seed=4).describe()
+        assert wall["clock"] == "wall"
+        assert wall["jitter"] == "full"
+        assert wall["jitter_seed"] == 4
+        assert RetryPolicy().describe()["clock"] == "sim"
+
+    def test_policy_is_picklable_with_default_timer_pair(self):
+        # The timer/sleeper defaults resolve lazily, so the policy ships
+        # to process-pool workers like the simulated one does.
+        policy = WallClockRetryPolicy(max_attempts=4, jitter_seed=2)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        assert clone.backoff_delay(1, salt=0) == policy.backoff_delay(1, salt=0)
+
+    def test_injected_timer_pair_drives_guarded_call_without_sleeping(self):
+        timer, sleeper, sleeps = self._virtual_timer_pair()
+        plan = FaultPlan(seed=3, transient_rate=1.0, max_faults_per_task=2)
+        policy = WallClockRetryPolicy(
+            max_attempts=3, jitter_seed=1, timer=timer, sleeper=sleeper
+        )
+        value, attempts = guarded_call(
+            _square, 6, index=0, retry=policy, faults=plan
+        )
+        assert (value, attempts) == (36, 3)
+        hinted = TransientApiError("", retry_after_seconds=plan.retry_after_seconds)
+        assert sleeps == pytest.approx(
+            [policy.backoff_delay(a, hinted, salt=0) for a in (0, 1)]
+        )
+
+    def test_wall_deadline_measured_on_the_injected_timer(self):
+        timer, sleeper, sleeps = self._virtual_timer_pair()
+        # The injected retry_after floor (6s) already blows the 5s budget,
+        # so the first failure gives up without sleeping at all.
+        plan = FaultPlan(
+            seed=3, transient_rate=1.0, retry_after_seconds=6.0,
+            max_faults_per_task=10,
+        )
+        policy = WallClockRetryPolicy(
+            max_attempts=50, deadline_seconds=5.0, timer=timer, sleeper=sleeper
+        )
+        with pytest.raises(TransientApiError) as excinfo:
+            guarded_call(_square, 6, index=0, retry=policy, faults=plan)
+        assert excinfo.value.attempts == 1
+        assert sleeps == []
+
+
+class TestKernelDepthInjection:
+    """Plans with ``depth="kernel"`` fire at :func:`fire_inner` sites."""
+
+    def test_fire_inner_is_a_no_op_without_context(self):
+        fire_inner("kernel")  # outside any guarded_call: nothing to fire
+
+    def test_depth_is_validated(self):
+        assert FAULT_DEPTHS == ("guard", "kernel")
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=1, error_rate=0.1, depth="basement")
+        # Latency and worker exits belong to the guard layer only.
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=1, slow_rate=0.1, depth="kernel")
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=1, crash_rate=0.1, depth="kernel")
+
+    def test_kernel_faults_fire_inside_the_task_body(self):
+        plan = FaultPlan(seed=3, error_rate=1.0, depth="kernel", max_faults_per_task=1)
+        entered = []
+
+        def body(x):
+            entered.append(x)
+            fire_inner("kernel")
+            return x
+
+        with pytest.raises(InjectedFaultError):
+            run_guarded(body, 1, index=0, faults=plan)
+        # Unlike guard depth, the body was already running when it failed.
+        assert entered == [1]
+
+    def test_kernel_faults_retry_to_convergence(self):
+        plan = FaultPlan(seed=3, error_rate=1.0, depth="kernel", max_faults_per_task=2)
+
+        def body(x):
+            fire_inner("kernel")
+            return x * x
+
+        value, attempts = guarded_call(
+            body, 6, index=0, retry=RetryPolicy(max_attempts=3), faults=plan
+        )
+        assert (value, attempts) == (36, 3)
+
+    def test_sites_and_depths_must_match(self):
+        plan = FaultPlan(seed=3, error_rate=1.0, depth="kernel", max_faults_per_task=10)
+
+        def body(x):
+            fire_inner("guard")  # wrong site: stays silent
+            return x
+
+        assert run_guarded(body, 5, index=0, faults=plan) == 5
+        # The context is reset after the call — later sites see nothing.
+        fire_inner("kernel")
+
+    def test_guard_depth_plans_never_reach_inner_sites(self):
+        plan = FaultPlan(seed=3, error_rate=1.0, max_faults_per_task=1)
+
+        def body(x):
+            fire_inner("kernel")  # must not double-fire the same decision
+            return x
+
+        with pytest.raises(InjectedFaultError):
+            run_guarded(body, 1, index=0, faults=plan)
+        # Consumed at the guard: attempt 1 runs clean, body included.
+        value, attempts = guarded_call(
+            body, 7, index=0, retry=RetryPolicy(max_attempts=2), faults=plan
+        )
+        assert (value, attempts) == (7, 2)
+
+
 class TestRunnerFaultTolerance:
     TASKS = list(range(40))
     EXPECTED = [x * x for x in TASKS]
@@ -342,6 +511,113 @@ class TestCollectionChaosParity:
         assert chaotic.user_ids == reference.user_ids
         # Exactly-once billing: retried shards leave no accounting trace.
         assert self._accounting(api) == self._accounting(reference_api)
+
+
+#: Kernel-depth chaos: error kinds only, raised *inside* the reach-shard
+#: body (mid-work, after the API objects exist) rather than at the guard.
+KERNEL_CHAOS = FaultPlan(
+    seed=21, transient_rate=0.3, error_rate=0.2, depth="kernel"
+)
+
+#: Enough attempts to outlast KERNEL_CHAOS's per-task fault bound.
+KERNEL_RETRIES = RetryPolicy(max_attempts=KERNEL_CHAOS.max_faults_per_task + 1)
+
+
+class TestKernelChaosParity:
+    """Mid-work injection: the shard body dies *inside* the API kernel.
+
+    Guard-depth parity (above) only proves that a task which never
+    started leaves no trace.  Kernel depth is the harder claim: the shard
+    body is already holding a worker-local API clone when the fault fires
+    mid-stream, and the retry must still converge to bit-identical
+    samples and billing — i.e. a half-run shard attempt leaks nothing
+    into the merged result or the coordinator-side accounting.
+    """
+
+    def _accounting(self, api: AdsManagerAPI) -> tuple:
+        return (api.call_stats(), api.rate_limiter.available_tokens, api.clock.now())
+
+    def _collector(self, simulation, api):
+        return AudienceSizeCollector(
+            api, simulation.panel, max_interests=8, locations=country_codes()
+        )
+
+    @pytest.mark.parametrize(
+        "backend,workers",
+        [
+            ("serial", 1),
+            pytest.param("thread", 2, marks=pytest.mark.slow),
+        ],
+    )
+    def test_collect_sharded_survives_kernel_faults(
+        self, simulation, backend, workers
+    ):
+        reference_api = fresh_legacy_api(simulation)
+        reference = self._collector(simulation, reference_api).collect_sharded(
+            RandomSelection(seed=13),
+            executor=ShardExecutor(backend=backend, workers=workers, shard_size=7),
+        )
+
+        api = fresh_legacy_api(simulation)
+        chaotic = self._collector(simulation, api).collect_sharded(
+            RandomSelection(seed=13),
+            executor=ShardExecutor(
+                backend=backend,
+                workers=workers,
+                shard_size=7,
+                retry=KERNEL_RETRIES,
+                faults=KERNEL_CHAOS,
+            ),
+        )
+        assert KERNEL_CHAOS.preview(20)  # the plan does fire on this task set
+        assert np.array_equal(chaotic.matrix, reference.matrix, equal_nan=True)
+        assert chaotic.user_ids == reference.user_ids
+        assert self._accounting(api) == self._accounting(reference_api)
+
+    def test_streamed_accumulator_merge_survives_kernel_faults(self, simulation):
+        reference_api = fresh_legacy_api(simulation)
+        reference = AudienceAccumulator()
+        for block in self._collector(simulation, reference_api).collect_stream(
+            RandomSelection(seed=13),
+            executor=ShardExecutor(shard_size=5),
+        ):
+            reference.update(block)
+
+        # Chaotic run: blocks stream mid-fault, split across two
+        # accumulators merged afterwards — the PR 4 merge path must be
+        # oblivious to which attempt produced each block.
+        api = fresh_legacy_api(simulation)
+        blocks = list(
+            self._collector(simulation, api).collect_stream(
+                RandomSelection(seed=13),
+                executor=ShardExecutor(
+                    shard_size=5, retry=KERNEL_RETRIES, faults=KERNEL_CHAOS
+                ),
+            )
+        )
+        split = len(blocks) // 2
+        left, right = AudienceAccumulator(), AudienceAccumulator()
+        for block in blocks[:split]:
+            left.update(block)
+        for block in blocks[split:]:
+            right.update(block)
+        merged = left.merge(right).finalize()
+
+        assert np.array_equal(
+            merged.to_samples().matrix,
+            reference.finalize().to_samples().matrix,
+            equal_nan=True,
+        )
+        assert self._accounting(api) == self._accounting(reference_api)
+
+    def test_kernel_faults_without_retry_surface_shard_context(self, simulation):
+        doomed = FaultPlan(seed=3, error_rate=1.0, depth="kernel")
+        with pytest.raises(ShardFailedError) as excinfo:
+            self._collector(simulation, fresh_legacy_api(simulation)).collect_sharded(
+                RandomSelection(seed=13),
+                executor=ShardExecutor(shard_size=7, faults=doomed),
+            )
+        assert isinstance(excinfo.value.cause, InjectedFaultError)
 
 
 def _grid() -> tuple[ScenarioSpec, ...]:
