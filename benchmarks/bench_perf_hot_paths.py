@@ -29,6 +29,13 @@ the hot paths industrialised by the batched pipeline —
   trace at half capacity for sustained throughput and P50/P99 latency,
   then a 2x-overload trace under chaos for shed rate and admitted-P99 —
   every served answer hard-checked against a direct bulk call),
+* the **columnar scale stage** (``--scale-users`` panellists built straight
+  into the CSR column store via the sharded generation path, then collected
+  shard-by-shard and bootstrapped off the streamed accumulator — measuring
+  build rate in users/s and peak memory via ``tracemalloc`` +
+  ``resource.getrusage``, with object-vs-columnar parity pinned at an
+  overlap scale; ``--scale-users 1000000`` is the million-user acceptance
+  run),
 
 — verifies that the tiers agree bit-for-bit, and appends the timings to a
 ``BENCH_perf.json`` trajectory file so future PRs can track the speedup.
@@ -44,12 +51,21 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import resource
 import time
+import tracemalloc
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
-from repro import build_simulation, quick_config
+from repro import (
+    assemble_simulation,
+    build_catalog,
+    build_panel,
+    build_simulation,
+    quick_config,
+)
 from repro._rng import as_generator
 from repro.cache import build_cache
 from repro.adsapi import AdsManagerAPI
@@ -266,6 +282,167 @@ def _service_stage(simulation) -> dict:
             "service_chaos_parity": overload_parity,
             "service_sheds_typed_under_overload": sheds_typed,
         },
+    }
+
+
+#: Scale-stage defaults: panellist count for the columnar build stage and
+#: the (small) overlap scale where object-vs-columnar parity is pinned.
+SCALE_USERS = 50_000
+QUICK_SCALE_USERS = 5_000
+SCALE_PARITY_USERS = 1_000
+SCALE_BOOTSTRAP = 50
+SCALE_SEED = 20211102
+
+
+def _scale_config(scale_users: int):
+    """A scale-stage config: small catalog, ``scale_users`` panellists.
+
+    The interest distribution is capped (median 20, max 200) so the stage
+    measures the columnar machinery at row scale rather than the raw
+    per-interest assignment cost; the CSR store then holds ~20 ids/user
+    (the memory model's dominant term at a few bytes per occurrence).
+    """
+    config = quick_config(factor=QUICK_SCALE_FACTOR).with_panel_users(scale_users)
+    return replace(
+        config,
+        panel=replace(
+            config.panel,
+            median_interests_per_user=20.0,
+            max_interests_per_user=200,
+        ),
+    )
+
+
+def _scale_stage(scale_users: int, parity_users: int) -> dict:
+    """Columnar million-user path: build rate, peak memory, end-to-end stream.
+
+    Builds ``scale_users`` panellists straight into the CSR column store
+    (sharded generation on a thread pool), collects the full users x 25
+    matrix shard-by-shard, and bootstraps off the streamed accumulator —
+    the end-to-end chain the columnar refactor keeps inside a bounded
+    footprint.  Parity against the object path is pinned at
+    ``parity_users`` (building two object-mode panels of the scale size
+    would defeat the point of the stage).
+    """
+    print(
+        f"columnar scale stage ({scale_users:,} users, "
+        f"parity at {parity_users:,}):"
+    )
+    config = _scale_config(scale_users)
+    catalog = build_catalog(config, seed=SCALE_SEED)
+    executor = ShardExecutor(backend="thread", workers=SHARD_WORKERS)
+
+    tracemalloc.start()
+    build_s, panel = _timed(
+        "columnar panel build (sharded)",
+        lambda: build_panel(
+            config,
+            seed=SCALE_SEED,
+            catalog=catalog,
+            layout="columnar",
+            executor=executor,
+        ),
+    )
+    build_rate = scale_users / build_s if build_s > 0 else float("inf")
+    print(f"  build rate: {build_rate:,.0f} users/s")
+
+    locations = country_codes()
+    simulation = assemble_simulation(config, catalog, panel, seed=SCALE_SEED)
+    strategy = LeastPopularSelection()
+    collector = AudienceSizeCollector(
+        simulation.uniqueness_api, panel, max_interests=25, locations=locations
+    )
+    collect_s, _ = _timed(
+        "collect_sharded (thread pool)",
+        lambda: collector.collect_sharded(strategy, executor=executor),
+    )
+    stream_collector = AudienceSizeCollector(
+        AdsManagerAPI(
+            simulation.reach_model,
+            platform=PlatformConfig.legacy_2017(),
+            clock=SimClock(),
+        ),
+        panel,
+        max_interests=25,
+        locations=locations,
+    )
+    stream_s, streamed_store = _timed(
+        "collect_stream + accumulator",
+        lambda: drain(
+            stream_collector.collect_stream(strategy, executor=executor),
+            AudienceAccumulator(),
+        ),
+    )
+    bootstrap_s, _ = _timed(
+        "bootstrap off the column store",
+        lambda: bootstrap_cutpoints(
+            streamed_store, QUANTILES, n_bootstrap=SCALE_BOOTSTRAP, seed=7
+        ),
+    )
+    _, tracemalloc_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # ru_maxrss is the process-lifetime peak (KB on Linux) — the stage's
+    # scale dwarfs the smoke stages before it, so it bounds this chain.
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    tracemalloc_peak_mb = tracemalloc_peak / (1024.0 * 1024.0)
+    nbytes_mb = panel.columns.nbytes / (1024.0 * 1024.0)
+    print(
+        f"  CSR store {nbytes_mb:.1f} MB, tracemalloc peak "
+        f"{tracemalloc_peak_mb:.1f} MB, process peak RSS {peak_rss_mb:.1f} MB"
+    )
+
+    parity_config = _scale_config(parity_users)
+    parity_executor = ShardExecutor(backend="thread", workers=2, shard_size=97)
+    object_sim = build_simulation(
+        parity_config, seed=SCALE_SEED, panel_layout="objects"
+    )
+    columnar_panel = build_panel(
+        parity_config,
+        seed=SCALE_SEED,
+        catalog=object_sim.catalog,
+        layout="columnar",
+        executor=parity_executor,
+    )
+    users_identical = object_sim.panel.users == columnar_panel.users
+    object_samples = AudienceSizeCollector(
+        object_sim.uniqueness_api,
+        object_sim.panel,
+        max_interests=25,
+        locations=locations,
+    ).collect(strategy)
+    columnar_samples = AudienceSizeCollector(
+        AdsManagerAPI(
+            object_sim.reach_model,
+            platform=PlatformConfig.legacy_2017(),
+            clock=SimClock(),
+        ),
+        columnar_panel,
+        max_interests=25,
+        locations=locations,
+    ).collect(strategy)
+    parity_ok = bool(
+        users_identical
+        and np.array_equal(
+            object_samples.matrix, columnar_samples.matrix, equal_nan=True
+        )
+        and object_samples.user_ids == columnar_samples.user_ids
+    )
+    print(f"  object-vs-columnar parity at overlap scale: {parity_ok}")
+
+    return {
+        "users": scale_users,
+        "parity_users": parity_users,
+        "median_interests": config.panel.median_interests_per_user,
+        "nnz": panel.columns.nnz,
+        "csr_store_mb": nbytes_mb,
+        "build_seconds": build_s,
+        "build_rate_users_per_s": build_rate,
+        "collect_sharded_seconds": collect_s,
+        "stream_collect_seconds": stream_s,
+        "stream_bootstrap_seconds": bootstrap_s,
+        "tracemalloc_peak_mb": tracemalloc_peak_mb,
+        "peak_rss_mb": peak_rss_mb,
+        "parity": {"scale_columnar_parity": parity_ok},
     }
 
 
@@ -709,6 +886,27 @@ def main() -> int:
         help="exit non-zero unless the fingerprint-shared build cache beats "
         "the uncached sweep by this factor on the analysis-knob-only grid",
     )
+    parser.add_argument(
+        "--scale-users",
+        type=int,
+        default=None,
+        help="panellist count for the columnar scale stage "
+        "(1000000 is the million-user acceptance run)",
+    )
+    parser.add_argument(
+        "--min-build-rate",
+        type=float,
+        default=None,
+        help="exit non-zero unless the columnar panel build sustains this "
+        "many users/s on the scale stage",
+    )
+    parser.add_argument(
+        "--max-scale-rss-mb",
+        type=float,
+        default=None,
+        help="exit non-zero when the process peak RSS after the scale "
+        "stage's build->collect->bootstrap chain exceeds this many MB",
+    )
     args = parser.parse_args()
 
     factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
@@ -717,7 +915,16 @@ def main() -> int:
         QUICK_SHARD_TILES if args.quick else SHARD_TILES
     )
 
+    scale_users = args.scale_users or (
+        QUICK_SCALE_USERS if args.quick else SCALE_USERS
+    )
+
     record = run_benchmark(factor, n_bootstrap, shard_tiles)
+    scale = _scale_stage(scale_users, min(SCALE_PARITY_USERS, scale_users))
+    record["scale"] = {
+        key: value for key, value in scale.items() if key != "parity"
+    }
+    record["parity"].update(scale["parity"])
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     record["python"] = platform.python_version()
     record["numpy"] = np.__version__
@@ -785,6 +992,22 @@ def main() -> int:
             print(
                 f"FAIL: service admitted P99 {achieved:g}s under 2x overload "
                 f"> allowed {args.max_service_p99:g}s"
+            )
+            failed = True
+    if args.min_build_rate is not None:
+        achieved = record["scale"]["build_rate_users_per_s"]
+        if achieved < args.min_build_rate:
+            print(
+                f"FAIL: columnar build rate {achieved:,.0f} users/s < required "
+                f"{args.min_build_rate:,.0f} users/s"
+            )
+            failed = True
+    if args.max_scale_rss_mb is not None:
+        achieved = record["scale"]["peak_rss_mb"]
+        if achieved > args.max_scale_rss_mb:
+            print(
+                f"FAIL: scale-stage peak RSS {achieved:.0f} MB > allowed "
+                f"{args.max_scale_rss_mb:.0f} MB"
             )
             failed = True
     if args.max_scenario_overhead is not None:

@@ -52,6 +52,7 @@ from .errors import (
 )
 from .faults import FaultPlan, RetryPolicy, WallClockRetryPolicy
 from .pipeline import (
+    PANEL_LAYOUTS,
     Simulation,
     assemble_simulation,
     build_catalog,
@@ -59,6 +60,7 @@ from .pipeline import (
     build_simulation,
     catalog_fingerprint,
     panel_fingerprint,
+    resolve_panel_layout,
     simulation_fingerprint,
 )
 from .scenarios import (
@@ -98,6 +100,7 @@ __all__ = [
     "FaultPlan",
     "InsufficientDataError",
     "ModelError",
+    "PANEL_LAYOUTS",
     "PanelConfig",
     "PanelError",
     "PlatformConfig",
@@ -137,6 +140,7 @@ __all__ = [
     "panel_fingerprint",
     "quick_config",
     "register_scenario",
+    "resolve_panel_layout",
     "run_scenario",
     "run_trace",
     "simulation_fingerprint",

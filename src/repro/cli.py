@@ -36,7 +36,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
-from . import build_simulation, default_config, quick_config
+from . import PANEL_LAYOUTS, build_simulation, default_config, quick_config
 from .analysis import format_records, format_table
 from .campaigns import AdvertiserWorkloadGenerator
 from .countermeasures import (
@@ -82,7 +82,9 @@ EXIT_SERVICE_ERROR = 4
 
 def _build(args: argparse.Namespace) -> Simulation:
     config = default_config() if args.factor <= 1 else quick_config(factor=args.factor)
-    return build_simulation(config, seed=args.seed)
+    return build_simulation(
+        config, seed=args.seed, panel_layout=getattr(args, "panel_layout", None)
+    )
 
 
 def _executor_from_args(simulation: Simulation, args: argparse.Namespace):
@@ -196,7 +198,9 @@ def cmd_countermeasures(args: argparse.Namespace) -> int:
     targets = experiment.select_targets(simulation.panel.users)
     baseline = experiment.run(targets)
 
-    protected_simulation = build_simulation(simulation.config, seed=args.seed)
+    protected_simulation = build_simulation(
+        simulation.config, seed=args.seed, panel_layout=getattr(args, "panel_layout", None)
+    )
     protected_experiment = protected_simulation.nanotargeting_experiment(seed=args.seed)
     protected = run_protected_experiment(
         protected_simulation.campaign_api,
@@ -610,6 +614,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="scale divisor applied to the paper-scale configuration (1 = full scale)",
         )
         sub.add_argument("--seed", type=int, default=None, help="override the default seeds")
+        sub.add_argument(
+            "--panel-layout",
+            choices=PANEL_LAYOUTS,
+            default=None,
+            help=(
+                "panel storage layout (default: columnar, or the "
+                "REPRO_PANEL_LAYOUT environment variable); content is "
+                "bit-identical either way"
+            ),
+        )
 
     def add_exec(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(

@@ -52,7 +52,11 @@ from ..exec.plan import Shard
 from ..exec.tasks import ReachShardTask, run_reach_shard, shard_backend_payload
 from ..fdvt.panel import FDVTPanel
 from .quantiles import AudienceSamples
-from .selection import SelectionStrategy, ordered_interest_matrix
+from .selection import (
+    SelectionStrategy,
+    ordered_interest_matrix,
+    ordered_interest_matrix_columns,
+)
 
 #: Collection tiers, fastest first.
 COLLECT_MODES = ("panel", "batch", "scalar")
@@ -123,11 +127,9 @@ class AudienceSizeCollector:
             raise ModelError(f"unknown collection mode: {mode!r}")
         n_users = len(self._panel)
         matrix = np.full((n_users, self._max_interests), np.nan, dtype=float)
-        user_ids = tuple(user.user_id for user in self._panel)
+        user_ids = self._user_ids()
         if mode == "panel":
-            id_matrix, counts = ordered_interest_matrix(
-                strategy, self._panel.users, self._panel.catalog, self._max_interests
-            )
+            id_matrix, counts = self._ordered_matrix(strategy, 0, n_users)
             if id_matrix.shape[1]:
                 values = self._api.estimate_reach_matrix(
                     id_matrix, counts, locations=self._locations
@@ -212,7 +214,7 @@ class AudienceSizeCollector:
         return AudienceSamples(
             matrix=matrix,
             floor=self._api.platform.reach_floor,
-            user_ids=tuple(user.user_id for user in self._panel),
+            user_ids=self._user_ids(),
         )
 
     def collect_stream(
@@ -254,7 +256,7 @@ class AudienceSizeCollector:
         jobs = self._plan_shard_jobs(strategy, executor, runner)
         self._api.settle_reach_bill(CallBill.merged([job.bill for job in jobs]))
         floor = self._api.platform.reach_floor
-        user_ids = tuple(user.user_id for user in self._panel)
+        user_ids = self._user_ids()
         tasks = [job.task for job in jobs if job.task is not None]
         results = runner.stream(run_reach_shard, tasks)
         for job in jobs:
@@ -287,6 +289,37 @@ class AudienceSizeCollector:
             backend = "thread" if workers > 1 else "serial"
         return ShardExecutor(backend=backend, workers=workers, shard_size=shard_size)
 
+    def _user_ids(self) -> tuple[int, ...]:
+        """Panel user ids in row order, without materialising user objects."""
+        if self._panel.has_columns:
+            return tuple(self._panel.columns.user_ids.tolist())
+        return tuple(user.user_id for user in self._panel)
+
+    def _ordered_matrix(
+        self, strategy: SelectionStrategy, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Ordered id matrix for panel rows ``[start, stop)``, layout-aware.
+
+        Column-backed panels feed the kernel input straight from the CSR
+        store; object panels keep the user-tuple path.  Both orderings are
+        bit-identical (pinned by the columnar parity suite).
+        """
+        if self._panel.has_columns:
+            return ordered_interest_matrix_columns(
+                strategy,
+                self._panel.columns,
+                self._panel.catalog,
+                self._max_interests,
+                start,
+                stop,
+            )
+        return ordered_interest_matrix(
+            strategy,
+            self._panel.users[start:stop],
+            self._panel.catalog,
+            self._max_interests,
+        )
+
     def _plan_shard_jobs(
         self,
         strategy: SelectionStrategy,
@@ -302,13 +335,9 @@ class AudienceSizeCollector:
         """
         payload = shard_backend_payload(self._api.backend, runner)
         floor = self._api.platform.reach_floor
-        users = self._panel.users
-        catalog = self._panel.catalog
         jobs: list[_ShardJob] = []
-        for shard in executor.plan(len(users)):
-            ids, counts = ordered_interest_matrix(
-                strategy, users[shard.start : shard.stop], catalog, self._max_interests
-            )
+        for shard in executor.plan(len(self._panel)):
+            ids, counts = self._ordered_matrix(strategy, shard.start, shard.stop)
             if ids.shape[1]:
                 ids, counts, locations = self._api.validate_reach_matrix(
                     ids, counts, locations=self._locations
@@ -342,22 +371,43 @@ class AudienceSizeCollector:
 
         Users are resolved through the panel's id index (no full-panel scan)
         and rows follow the caller's requested order, with duplicate ids
-        collapsed to their first occurrence and unknown ids ignored.
+        collapsed to their first occurrence and unknown ids ignored.  On a
+        column-backed panel the sub-panel is a row gather on the CSR store
+        — no user objects are materialised.
         """
-        users = []
-        seen: set[int] = set()
-        for user_id in user_ids:
-            user_id = int(user_id)
-            if user_id in seen:
-                continue
-            seen.add(user_id)
-            try:
-                users.append(self._panel.get(user_id))
-            except PanelError:
-                continue
-        if not users:
-            raise ModelError("no panel users match the requested ids")
-        sub_panel = self._panel.subset(users)
+        if self._panel.has_columns:
+            columns = self._panel.columns
+            row_of = {uid: row for row, uid in enumerate(columns.user_ids.tolist())}
+            rows: list[int] = []
+            seen: set[int] = set()
+            for user_id in user_ids:
+                user_id = int(user_id)
+                if user_id in seen:
+                    continue
+                seen.add(user_id)
+                row = row_of.get(user_id)
+                if row is not None:
+                    rows.append(row)
+            if not rows:
+                raise ModelError("no panel users match the requested ids")
+            sub_panel = FDVTPanel.from_columns(
+                columns.take(np.array(rows, dtype=np.int64)), self._panel.catalog
+            )
+        else:
+            users = []
+            seen = set()
+            for user_id in user_ids:
+                user_id = int(user_id)
+                if user_id in seen:
+                    continue
+                seen.add(user_id)
+                try:
+                    users.append(self._panel.get(user_id))
+                except PanelError:
+                    continue
+            if not users:
+                raise ModelError("no panel users match the requested ids")
+            sub_panel = self._panel.subset(users)
         collector = AudienceSizeCollector(
             self._api,
             sub_panel,

@@ -22,6 +22,14 @@ least-popular strategy orders all users in a single global sort over
 id-indexed catalog popularity arrays); otherwise the per-user
 ``order_interests`` is looped, so any strategy is panel-capable and every
 row is bit-identical to the scalar ordering either way.
+
+Columnar panels skip the user objects entirely:
+:func:`ordered_interest_matrix_columns` reads a row range straight out of a
+:class:`~repro.population.columnar.PanelColumns` CSR store.  The
+least-popular core is shared flat-array code either way, and the random
+strategy shuffles each CSR row slice with the same per-user-id stream the
+object path derives, so the produced matrices are bit-identical across
+layouts.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import numpy as np
 from .._rng import SeedLike, as_generator, derive_generator, stable_hash
 from ..catalog import InterestCatalog
 from ..errors import ModelError
+from ..population.columnar import PanelColumns
 from ..population.user import SyntheticUser
 
 
@@ -90,19 +99,30 @@ class LeastPopularSelection:
             dtype=np.int64,
             count=total,
         )
-        sorted_ids = catalog.interest_ids
-        positions = np.searchsorted(sorted_ids, flat_ids)
-        positions = np.minimum(positions, len(sorted_ids) - 1)
-        mismatched = sorted_ids[positions] != flat_ids
-        if mismatched.any():
-            # Defer to the scalar path's error for the first offending id.
-            catalog.get(int(flat_ids[np.argmax(mismatched)]))
-        flat_audiences = catalog.all_audience_sizes()[positions]
-        row_index = np.repeat(np.arange(len(full_counts)), full_counts)
-        order = np.lexsort((flat_ids, flat_audiences, row_index))
-        flat_sorted = flat_ids[order]
-        counts = np.minimum(full_counts, max_interests)
-        return _pack_ordered_rows(flat_sorted, full_counts, counts)
+        return _order_least_popular_flat(flat_ids, full_counts, catalog, max_interests)
+
+    def order_interests_matrix_columns(
+        self,
+        columns: PanelColumns,
+        catalog: InterestCatalog,
+        max_interests: int,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ordering over rows ``[start, stop)`` of a CSR store.
+
+        The flat id fragment and per-row lengths come straight off the CSR
+        arrays — no user objects — and feed the same global-sort core as
+        :meth:`order_interests_matrix`.
+        """
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        stop = len(columns) if stop is None else stop
+        flat_ids = columns.interest_ids[
+            columns.indptr[start] : columns.indptr[stop]
+        ].astype(np.int64)
+        full_counts = np.diff(columns.indptr[start : stop + 1])
+        return _order_least_popular_flat(flat_ids, full_counts, catalog, max_interests)
 
 
 class RandomSelection:
@@ -129,6 +149,66 @@ class RandomSelection:
         interests = np.array(user.interest_ids, dtype=np.int64)
         rng.shuffle(interests)
         return tuple(int(i) for i in interests[:max_interests])
+
+    def order_interests_matrix_columns(
+        self,
+        columns: PanelColumns,
+        catalog: InterestCatalog,
+        max_interests: int,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row shuffles over rows ``[start, stop)`` of a CSR store.
+
+        Each row's slice is copied to int64 and shuffled with the stream
+        derived from its user id — the draw sequence depends only on the
+        row length, so it matches the object path's list shuffle exactly.
+        """
+        if max_interests < 1:
+            raise ModelError("max_interests must be >= 1")
+        stop = len(columns) if stop is None else stop
+        full_counts = np.diff(columns.indptr[start : stop + 1])
+        counts = np.minimum(full_counts, max_interests)
+        flat_parts: list[np.ndarray] = []
+        for row in range(start, stop):
+            rng = derive_generator(
+                self._base_seed, "random-selection", int(columns.user_ids[row])
+            )
+            interests = columns.interest_row(row).astype(np.int64)
+            rng.shuffle(interests)
+            flat_parts.append(interests)
+        flat_sorted = (
+            np.concatenate(flat_parts) if flat_parts else np.zeros(0, dtype=np.int64)
+        )
+        return _pack_ordered_rows(flat_sorted, full_counts, counts)
+
+
+def _order_least_popular_flat(
+    flat_ids: np.ndarray,
+    full_counts: np.ndarray,
+    catalog: InterestCatalog,
+    max_interests: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global least-popular sort of concatenated per-user id segments.
+
+    The shared core of both least-popular bulk paths: resolve every id
+    against the catalog's id-indexed audience array with one
+    ``searchsorted``, order with one ``lexsort`` keyed ``(row, audience,
+    id)``, and pack the leading ``max_interests`` of each segment.
+    """
+    sorted_ids = catalog.interest_ids
+    positions = np.searchsorted(sorted_ids, flat_ids)
+    positions = np.minimum(positions, len(sorted_ids) - 1)
+    mismatched = sorted_ids[positions] != flat_ids
+    if mismatched.any():
+        # Defer to the scalar path's error for the first offending id.
+        catalog.get(int(flat_ids[np.argmax(mismatched)]))
+    flat_audiences = catalog.all_audience_sizes()[positions]
+    row_index = np.repeat(np.arange(len(full_counts)), full_counts)
+    order = np.lexsort((flat_ids, flat_audiences, row_index))
+    flat_sorted = flat_ids[order]
+    counts = np.minimum(full_counts, max_interests)
+    return _pack_ordered_rows(flat_sorted, full_counts, counts)
 
 
 def _pack_ordered_rows(
@@ -195,6 +275,41 @@ def ordered_interest_matrix(
         return panel_order(users, catalog, max_interests)
     ordered_rows = [
         strategy.order_interests(user, catalog, max_interests) for user in users
+    ]
+    counts = np.array([len(row) for row in ordered_rows], dtype=np.int64)
+    flat_sorted = np.fromiter(
+        (i for row in ordered_rows for i in row),
+        dtype=np.int64,
+        count=int(counts.sum()),
+    )
+    return _pack_ordered_rows(flat_sorted, counts, counts)
+
+
+def ordered_interest_matrix_columns(
+    strategy: SelectionStrategy,
+    columns: PanelColumns,
+    catalog: InterestCatalog,
+    max_interests: int,
+    start: int = 0,
+    stop: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ordered id matrix for rows ``[start, stop)`` of a CSR store.
+
+    The columnar counterpart of :func:`ordered_interest_matrix`: built-in
+    strategies consume the CSR slice directly via
+    ``order_interests_matrix_columns``; a strategy without that hook gets
+    its protocol users materialised row by row and the result is identical
+    (the per-row orderings do not depend on the storage layout).
+    """
+    if max_interests < 1:
+        raise ModelError("max_interests must be >= 1")
+    stop = len(columns) if stop is None else stop
+    column_order = getattr(strategy, "order_interests_matrix_columns", None)
+    if column_order is not None:
+        return column_order(columns, catalog, max_interests, start, stop)
+    ordered_rows = [
+        strategy.order_interests(columns.user_at(row), catalog, max_interests)
+        for row in range(start, stop)
     ]
     counts = np.array([len(row) for row in ordered_rows], dtype=np.int64)
     flat_sorted = np.fromiter(

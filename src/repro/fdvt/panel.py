@@ -16,6 +16,16 @@ synthetic panel that reproduces the published marginals:
 Demographic groups receive slightly different popularity biases so that the
 directional differences of Appendix C (women, adolescents and Argentinian
 users need more random interests to become unique) emerge from the data.
+
+The panel has two storage modes with one API.  The object mode wraps a
+tuple of :class:`SyntheticUser`; the columnar mode
+(:meth:`FDVTPanel.from_columns`, built by :meth:`PanelBuilder.build_columns`)
+wraps a :class:`~repro.population.columnar.PanelColumns` store, computes
+every dataset statistic as an array sweep, cuts demographic sub-panels by
+boolean mask, and only materialises user objects when a legacy accessor
+(:attr:`FDVTPanel.users`, iteration, :meth:`FDVTPanel.get`) asks for them.
+Both modes hold bit-identical content for the same seed — the builders
+consume identical RNG streams (see :mod:`repro.population.generation`).
 """
 
 from __future__ import annotations
@@ -28,8 +38,21 @@ from .._rng import SeedLike, derive_generator
 from ..catalog import InterestCatalog
 from ..config import PanelConfig
 from ..errors import PanelError
+from ..exec import ShardExecutor
 from ..population.assignment import InterestAssigner
-from ..population.demographics import AgeGroup, Gender, sample_age
+from ..population.columnar import (
+    AGE_GROUP_CODES,
+    AGE_GROUP_TABLE,
+    GENDER_CODES,
+    GENDER_TABLE,
+    PanelColumns,
+)
+from ..population.demographics import AgeGroup, Gender
+from ..population.generation import (
+    InterestShardTask,
+    assigner_shard_payload,
+    run_interest_shard,
+)
 from ..population.sampling import InterestCountModel
 from ..population.user import SyntheticUser
 from .appendix_b import PANEL_COUNTRY_COUNTS, expanded_country_assignments
@@ -65,32 +88,78 @@ class FDVTPanel:
     """A collection of synthetic FDVT panellists."""
 
     def __init__(self, users: Iterable[SyntheticUser], catalog: InterestCatalog) -> None:
-        self._users = tuple(users)
+        self._users: tuple[SyntheticUser, ...] | None = tuple(users)
         if not self._users:
             raise PanelError("a panel must contain at least one user")
         self._catalog = catalog
-        self._by_id = {user.user_id: user for user in self._users}
-        if len(self._by_id) != len(self._users):
+        if len({user.user_id for user in self._users}) != len(self._users):
             raise PanelError("panel user ids must be unique")
+        self._columns: PanelColumns | None = None
+        self._by_id: dict[int, SyntheticUser] | None = None
+
+    @classmethod
+    def from_columns(cls, columns: PanelColumns, catalog: InterestCatalog) -> "FDVTPanel":
+        """A panel viewing ``columns`` directly — no user objects built."""
+        if len(columns) == 0:
+            raise PanelError("a panel must contain at least one user")
+        panel = cls.__new__(cls)
+        panel._users = None
+        panel._catalog = catalog
+        panel._columns = columns
+        panel._by_id = None
+        return panel
+
+    # -- columnar core ------------------------------------------------------------
+
+    @property
+    def columns(self) -> PanelColumns:
+        """The columnar store backing this panel (built lazily)."""
+        if self._columns is None:
+            self._columns = PanelColumns.from_users(self._users)  # type: ignore[arg-type]
+        return self._columns
+
+    @property
+    def has_columns(self) -> bool:
+        """True when the columnar store has been realised already.
+
+        Collection paths use this to choose the CSR fast path without
+        forcing an object-mode panel to pay the one-off encode.
+        """
+        return self._columns is not None
 
     # -- container protocol ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._users)
+        if self._users is not None:
+            return len(self._users)
+        return len(self.columns)
 
     def __iter__(self) -> Iterator[SyntheticUser]:
-        return iter(self._users)
+        return iter(self.users)
 
     def get(self, user_id: int) -> SyntheticUser:
-        """Return the panellist with ``user_id`` or raise."""
-        try:
-            return self._by_id[user_id]
-        except KeyError:
-            raise PanelError(f"unknown panel user id: {user_id}") from None
+        """Return the panellist with ``user_id`` or raise.
+
+        Column-backed panels materialise only the requested row; the dict
+        index is built lazily once users exist as objects anyway.
+        """
+        if self._by_id is None and self._users is not None:
+            self._by_id = {user.user_id: user for user in self._users}
+        if self._by_id is not None:
+            try:
+                return self._by_id[user_id]
+            except KeyError:
+                raise PanelError(f"unknown panel user id: {user_id}") from None
+        rows = np.flatnonzero(self.columns.user_ids == int(user_id))
+        if rows.size == 0:
+            raise PanelError(f"unknown panel user id: {user_id}")
+        return self.columns.user_at(int(rows[0]))
 
     @property
     def users(self) -> tuple[SyntheticUser, ...]:
-        """All panellists."""
+        """All panellists (materialised on first access on columnar panels)."""
+        if self._users is None:
+            self._users = self.columns.to_users()
         return self._users
 
     @property
@@ -102,25 +171,27 @@ class FDVTPanel:
 
     def interests_per_user(self) -> np.ndarray:
         """Number of interests per panellist (the Figure 1 variable)."""
-        return np.array([user.interest_count for user in self._users], dtype=np.int64)
+        return self.columns.interest_counts()
 
     def unique_interest_ids(self) -> np.ndarray:
         """Distinct interest ids observed across the panel (Figure 2 variable)."""
-        seen: set[int] = set()
-        for user in self._users:
-            seen.update(user.interest_ids)
-        return np.array(sorted(seen), dtype=np.int64)
+        return np.unique(self.columns.interest_ids).astype(np.int64)
 
     def total_interest_occurrences(self) -> int:
         """Total interest assignments across the panel (~1.5M in the paper)."""
-        return int(sum(user.interest_count for user in self._users))
+        return self.columns.nnz
 
     def country_counts(self) -> dict[str, int]:
         """Panellists per country."""
-        counts: dict[str, int] = {}
-        for user in self._users:
-            counts[user.country] = counts.get(user.country, 0) + 1
-        return counts
+        columns = self.columns
+        counts = np.bincount(
+            columns.country_index, minlength=len(columns.country_codes)
+        )
+        return {
+            columns.country_codes[i]: int(counts[i])
+            for i in range(len(columns.country_codes))
+            if counts[i]
+        }
 
     # -- demographic subsets ---------------------------------------------------------
 
@@ -128,23 +199,33 @@ class FDVTPanel:
         """Build a sub-panel from a subset of users."""
         return FDVTPanel(users, self._catalog)
 
+    def _view(self, mask: np.ndarray) -> "FDVTPanel":
+        if not mask.any():
+            raise PanelError("a panel must contain at least one user")
+        return FDVTPanel.from_columns(self.columns.take(mask), self._catalog)
+
     def by_gender(self, gender: Gender) -> "FDVTPanel":
         """Sub-panel of one declared gender."""
-        return self.subset([user for user in self._users if user.gender is gender])
+        return self._view(self.columns.gender_index == GENDER_CODES[gender])
 
     def by_age_group(self, group: AgeGroup) -> "FDVTPanel":
         """Sub-panel of one Erikson age group."""
-        return self.subset([user for user in self._users if user.age_group is group])
+        return self._view(self.columns.age_group_index() == AGE_GROUP_CODES[group])
 
     def by_country(self, country: str) -> "FDVTPanel":
         """Sub-panel of one country of residence."""
-        return self.subset([user for user in self._users if user.country == country])
+        columns = self.columns
+        try:
+            code = columns.country_codes.index(country)
+        except ValueError:
+            raise PanelError("a panel must contain at least one user") from None
+        return self._view(columns.country_index == code)
 
     # -- serialisation -----------------------------------------------------------------
 
     def to_dicts(self) -> list[dict]:
         """Serialise the panel users to plain dictionaries."""
-        return [user.to_dict() for user in self._users]
+        return [user.to_dict() for user in self.users]
 
     @staticmethod
     def from_dicts(records: Iterable[dict], catalog: InterestCatalog) -> "FDVTPanel":
@@ -176,92 +257,200 @@ class PanelBuilder:
         return self._config
 
     def build(self, seed: SeedLike = None) -> FDVTPanel:
-        """Build the panel deterministically from ``seed``."""
+        """Build the panel deterministically from ``seed`` (object path)."""
         config = self._config
-        base_seed = config.seed if seed is None else seed
-        if isinstance(base_seed, np.random.Generator):
-            base_seed = int(base_seed.integers(0, 2**62))
-        base_seed = int(base_seed)
-
-        countries = self._assign_countries(config.n_users, base_seed)
-        genders = self._assign_genders(config, base_seed)
-        age_groups = self._assign_age_groups(config, base_seed)
-        count_model = InterestCountModel(
-            median=config.median_interests_per_user,
-            log10_sigma=config.interests_log10_sigma,
-            minimum=config.min_interests_per_user,
-            maximum=config.max_interests_per_user,
-        ).clipped_to_catalog(len(self._catalog))
-        counts = count_model.sample(
+        base_seed = self._resolve_seed(seed)
+        codes, country_index = self._assign_country_index(config.n_users, base_seed)
+        gender_index = self._assign_gender_index(config, base_seed)
+        age_group_index = self._assign_age_group_index(config, base_seed)
+        counts = self._count_model().sample(
             config.n_users, derive_generator(base_seed, "panel-interest-counts")
         )
+        base_bias = _bias_table(codes)[gender_index, age_group_index, country_index]
 
+        task = InterestShardTask(
+            assigner=self._assigner,
+            base_seed=base_seed,
+            seed_key="panel-user",
+            start=0,
+            stop=config.n_users,
+            counts=counts,
+            topics_per_user=self._topics_per_user,
+            age_group_index=age_group_index,
+            base_bias=base_bias,
+            bias_jitter=float(config.popularity_bias_jitter),
+        )
+        flat_ids, row_counts, ages = run_interest_shard(task)
         users = []
+        cursor = 0
         for index in range(config.n_users):
-            user_rng = derive_generator(base_seed, "panel-user", index)
-            age = sample_age(age_groups[index], user_rng)
-            bias = popularity_bias_for(genders[index], age_groups[index], countries[index])
-            # Per-user heterogeneity: some people collect mostly mainstream
-            # interests, others many niche ones.  This spread is what widens
-            # the gap between the P=0.5 and P=0.9 uniqueness cutpoints.
-            if config.popularity_bias_jitter > 0:
-                bias += float(user_rng.normal(0.0, config.popularity_bias_jitter))
-                bias = float(np.clip(round(bias, 2), 0.1, 0.95))
-            preferred = self._assigner.sample_preferred_topics(
-                self._topics_per_user, user_rng
-            )
-            interests = self._assigner.assign(
-                int(counts[index]),
-                user_rng,
-                preferred_topics=preferred,
-                popularity_bias=bias,
-            )
+            stop = cursor + int(row_counts[index])
+            age = int(ages[index])  # type: ignore[index]
             users.append(
                 SyntheticUser(
                     user_id=index,
-                    country=countries[index],
-                    gender=genders[index],
-                    age=age,
-                    interest_ids=interests,
+                    country=codes[country_index[index]],
+                    gender=GENDER_TABLE[gender_index[index]],
+                    age=None if age < 0 else age,
+                    interest_ids=tuple(int(i) for i in flat_ids[cursor:stop]),
                 )
             )
+            cursor = stop
         return FDVTPanel(users, self._catalog)
+
+    def build_columns(
+        self, seed: SeedLike = None, *, executor: ShardExecutor | None = None
+    ) -> FDVTPanel:
+        """Build the panel as a columnar store (no user objects).
+
+        Bit-identical to :meth:`build` for the same seed.  ``executor``
+        shards the per-user assignment stage over contiguous row ranges
+        (serial by default); every backend, worker count and shard size
+        produces the same columns, because each row re-derives its own
+        ``derive_generator(base_seed, "panel-user", index)`` stream.
+        """
+        config = self._config
+        base_seed = self._resolve_seed(seed)
+        codes, country_index = self._assign_country_index(config.n_users, base_seed)
+        gender_index = self._assign_gender_index(config, base_seed)
+        age_group_index = self._assign_age_group_index(config, base_seed)
+        counts = self._count_model().sample(
+            config.n_users, derive_generator(base_seed, "panel-interest-counts")
+        )
+        base_bias = _bias_table(codes)[gender_index, age_group_index, country_index]
+
+        executor = executor or ShardExecutor()
+        runner = executor.runner()
+        payload = assigner_shard_payload(self._assigner, runner)
+        tasks = [
+            InterestShardTask(
+                assigner=payload,
+                base_seed=base_seed,
+                seed_key="panel-user",
+                start=shard.start,
+                stop=shard.stop,
+                counts=counts[shard.rows],
+                topics_per_user=self._topics_per_user,
+                age_group_index=age_group_index[shard.rows],
+                base_bias=base_bias[shard.rows],
+                bias_jitter=float(config.popularity_bias_jitter),
+            )
+            for shard in executor.plan(config.n_users)
+        ]
+        fragments = runner.run(run_interest_shard, tasks)
+        row_counts = np.concatenate([f[1] for f in fragments])
+        indptr = np.zeros(config.n_users + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        columns = PanelColumns(
+            user_ids=np.arange(config.n_users, dtype=np.int64),
+            country_codes=codes,
+            country_index=country_index,
+            gender_index=gender_index,
+            ages=np.concatenate([f[2] for f in fragments]),
+            indptr=indptr,
+            interest_ids=np.concatenate([f[0] for f in fragments]),
+        )
+        return FDVTPanel.from_columns(columns, self._catalog)
 
     # -- internals -----------------------------------------------------------------
 
-    def _assign_countries(self, n_users: int, base_seed: int) -> list[str]:
+    def _resolve_seed(self, seed: SeedLike) -> int:
+        base_seed = self._config.seed if seed is None else seed
+        if isinstance(base_seed, np.random.Generator):
+            base_seed = int(base_seed.integers(0, 2**62))
+        return int(base_seed)
+
+    def _count_model(self) -> InterestCountModel:
+        return InterestCountModel(
+            median=self._config.median_interests_per_user,
+            log10_sigma=self._config.interests_log10_sigma,
+            minimum=self._config.min_interests_per_user,
+            maximum=self._config.max_interests_per_user,
+        ).clipped_to_catalog(len(self._catalog))
+
+    def _assign_country_index(
+        self, n_users: int, base_seed: int
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        """Country assignments as ``(code_table, int16 index array)``.
+
+        The shuffle of the exact Appendix-B expansion runs on the int index
+        array; ``Generator.shuffle`` applies the same permutation to an
+        array as to the original list-of-strings, so the draw stream and
+        the resulting assignment are unchanged from the object-era code.
+        """
         rng = derive_generator(base_seed, "panel-countries")
+        codes = tuple(PANEL_COUNTRY_COUNTS)
+        code_of = {code: i for i, code in enumerate(codes)}
         if n_users == sum(PANEL_COUNTRY_COUNTS.values()):
-            assignments = list(expanded_country_assignments())
-            rng.shuffle(assignments)
-            return assignments
-        codes = list(PANEL_COUNTRY_COUNTS)
+            index = np.fromiter(
+                (code_of[c] for c in expanded_country_assignments()),
+                dtype=np.int16,
+                count=n_users,
+            )
+            rng.shuffle(index)
+            return codes, index
         weights = np.array([PANEL_COUNTRY_COUNTS[c] for c in codes], dtype=float)
         weights = weights / weights.sum()
         draws = rng.choice(len(codes), size=n_users, p=weights)
-        return [codes[int(i)] for i in draws]
+        return codes, draws.astype(np.int16)
 
-    def _assign_genders(self, config: PanelConfig, base_seed: int) -> list[Gender]:
+    def _assign_gender_index(self, config: PanelConfig, base_seed: int) -> np.ndarray:
         rng = derive_generator(base_seed, "panel-genders")
-        genders = (
-            [Gender.MALE] * config.n_men
-            + [Gender.FEMALE] * config.n_women
-            + [Gender.UNDISCLOSED] * config.n_gender_undisclosed
+        index = np.repeat(
+            np.array(
+                [
+                    GENDER_CODES[Gender.MALE],
+                    GENDER_CODES[Gender.FEMALE],
+                    GENDER_CODES[Gender.UNDISCLOSED],
+                ],
+                dtype=np.int8,
+            ),
+            [config.n_men, config.n_women, config.n_gender_undisclosed],
         )
-        rng.shuffle(genders)
-        return genders
+        rng.shuffle(index)
+        return index
 
-    def _assign_age_groups(self, config: PanelConfig, base_seed: int) -> list[AgeGroup]:
+    def _assign_age_group_index(self, config: PanelConfig, base_seed: int) -> np.ndarray:
         rng = derive_generator(base_seed, "panel-ages")
-        groups = (
-            [AgeGroup.ADOLESCENCE] * config.n_adolescents
-            + [AgeGroup.EARLY_ADULTHOOD] * config.n_early_adults
-            + [AgeGroup.ADULTHOOD] * config.n_adults
-            + [AgeGroup.MATURITY] * config.n_matures
-            + [AgeGroup.UNDISCLOSED] * config.n_age_undisclosed
+        index = np.repeat(
+            np.array(
+                [
+                    AGE_GROUP_CODES[AgeGroup.ADOLESCENCE],
+                    AGE_GROUP_CODES[AgeGroup.EARLY_ADULTHOOD],
+                    AGE_GROUP_CODES[AgeGroup.ADULTHOOD],
+                    AGE_GROUP_CODES[AgeGroup.MATURITY],
+                    AGE_GROUP_CODES[AgeGroup.UNDISCLOSED],
+                ],
+                dtype=np.int8,
+            ),
+            [
+                config.n_adolescents,
+                config.n_early_adults,
+                config.n_adults,
+                config.n_matures,
+                config.n_age_undisclosed,
+            ],
         )
-        rng.shuffle(groups)
-        return groups
+        rng.shuffle(index)
+        return index
+
+
+def _bias_table(codes: tuple[str, ...]) -> np.ndarray:
+    """Per-(gender, age group, country) base popularity biases.
+
+    A dense lookup of :func:`popularity_bias_for` over every code
+    combination, so the vectorised builders read per-user biases with one
+    fancy index while keeping the scalar function the single source of
+    truth (including its ``round(bias, 3)``).
+    """
+    table = np.empty(
+        (len(GENDER_TABLE), len(AGE_GROUP_TABLE), len(codes)), dtype=float
+    )
+    for g, gender in enumerate(GENDER_TABLE):
+        for a, group in enumerate(AGE_GROUP_TABLE):
+            for c, country in enumerate(codes):
+                table[g, a, c] = popularity_bias_for(gender, group, country)
+    return table
 
 
 def popularity_bias_for(gender: Gender, age_group: AgeGroup, country: str) -> float:

@@ -40,11 +40,17 @@ class InterestAssigner:
         *,
         topic_affinity_boost: float = 4.0,
         default_popularity_bias: float = 0.5,
+        spec: object | None = None,
     ) -> None:
         if topic_affinity_boost < 1.0:
             raise PopulationError("topic_affinity_boost must be >= 1")
         if default_popularity_bias < 0.0:
             raise PopulationError("default_popularity_bias must be >= 0")
+        #: Optional :class:`~repro.population.generation.AssignerSpec` that
+        #: rebuilds this assigner worker-side; lets sharded generation ship
+        #: a few config dataclasses across process boundaries instead of
+        #: the whole catalog (see ``assigner_shard_payload``).
+        self.spec = spec
         self._catalog = catalog
         self._boost = float(topic_affinity_boost)
         self._default_bias = float(default_popularity_bias)
@@ -118,8 +124,18 @@ class InterestAssigner:
             needed = n_interests - len(chosen)
             batch = max(needed, int(needed * 1.25) + 4)
             topic_draws = rng.choice(len(self._topics), size=batch, p=topic_probs)
-            for topic_idx, count in zip(*np.unique(topic_draws, return_counts=True)):
-                ids = self._draw_within_topic(int(topic_idx), int(count), bias, rng)
+            topics, topic_counts = np.unique(topic_draws, return_counts=True)
+            # One bulk uniform draw sliced per topic in sorted-topic order:
+            # the stream is identical to per-topic ``rng.random(count)``
+            # calls (uniform draws are consumed left-to-right), but the
+            # Generator overhead is paid once per batch.
+            uniforms = rng.random(int(topic_counts.sum()))
+            offset = 0
+            for topic_idx, count in zip(topics, topic_counts):
+                ids = self._draw_within_topic(
+                    int(topic_idx), uniforms[offset : offset + int(count)], bias
+                )
+                offset += int(count)
                 for interest_id in ids:
                     interest_id = int(interest_id)
                     if interest_id not in seen:
@@ -161,7 +177,7 @@ class InterestAssigner:
         return cached
 
     def _draw_within_topic(
-        self, topic_idx: int, count: int, bias: float, rng: np.random.Generator
+        self, topic_idx: int, uniforms: np.ndarray, bias: float
     ) -> np.ndarray:
         ids = self._topic_ids[topic_idx]
         if ids.size == 0:
@@ -172,6 +188,9 @@ class InterestAssigner:
             cdf = np.cumsum(weights)
             cdf = cdf / cdf[-1]
             self._cdf_cache[(topic_idx, bias)] = cdf
-        positions = np.searchsorted(cdf, rng.random(count), side="right")
-        positions = np.clip(positions, 0, ids.size - 1)
+        positions = np.searchsorted(cdf, uniforms, side="right")
+        # Positions are already >= 0; only the top end can overflow (when a
+        # uniform lands exactly on cdf[-1] == 1.0), so a one-sided minimum
+        # replaces the two-sided clip on the hot path.
+        positions = np.minimum(positions, ids.size - 1)
         return ids[positions]

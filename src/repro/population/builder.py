@@ -1,4 +1,20 @@
-"""Builder for the agent-based scaled population."""
+"""Builder for the agent-based scaled population.
+
+Two build paths produce bit-identical users from the same seed:
+
+* :meth:`PopulationBuilder.build` — the object path, one
+  :class:`SyntheticUser` per agent;
+* :meth:`PopulationBuilder.build_columns` — the columnar path, which keeps
+  the whole-array demographic stages as arrays, fans the per-user interest
+  assignment out over contiguous row shards (:mod:`repro.exec`) and
+  assembles a :class:`~repro.population.columnar.PanelColumns` store
+  directly — no user objects, any backend/worker count/shard size.
+
+Both consume identical RNG streams: demographics and interest counts are
+single whole-array draws, and each user's assignment re-derives
+``derive_generator(base_seed, "user", index)``, which depends only on the
+row index.
+"""
 
 from __future__ import annotations
 
@@ -8,9 +24,16 @@ from .._rng import SeedLike, derive_generator
 from ..catalog import InterestCatalog
 from ..config import PopulationConfig
 from ..errors import PopulationError
+from ..exec import ShardExecutor
 from ..reach.countries import TOP_50_COUNTRIES
 from .assignment import InterestAssigner
-from .demographics import Gender, sample_ages, sample_genders
+from .columnar import PanelColumns
+from .demographics import GENDER_TABLE, sample_ages, sample_gender_index
+from .generation import (
+    InterestShardTask,
+    assigner_shard_payload,
+    run_interest_shard,
+)
 from .population import Population
 from .sampling import InterestCountModel
 from .user import SyntheticUser
@@ -42,23 +65,15 @@ class PopulationBuilder:
         return self._config
 
     def build(self, seed: SeedLike = None) -> Population:
-        """Build the population deterministically from ``seed``."""
+        """Build the population deterministically from ``seed`` (object path)."""
         config = self._config
-        base_seed = config.seed if seed is None else int(seed)  # type: ignore[arg-type]
-        if isinstance(seed, np.random.Generator):
-            base_seed = int(seed.integers(0, 2**62))
-        countries = self._sample_countries(config.n_agents, base_seed)
-        genders = sample_genders(
+        base_seed = self._resolve_seed(seed)
+        codes, country_index = self._sample_country_index(config.n_agents, base_seed)
+        gender_index = sample_gender_index(
             config.n_agents, derive_generator(base_seed, "genders")
         )
         ages = sample_ages(config.n_agents, derive_generator(base_seed, "ages"))
-        count_model = InterestCountModel(
-            median=config.median_interests_per_user,
-            log10_sigma=config.interests_log10_sigma,
-            minimum=config.min_interests_per_user,
-            maximum=config.max_interests_per_user,
-        ).clipped_to_catalog(len(self._catalog))
-        counts = count_model.sample(
+        counts = self._count_model().sample(
             config.n_agents, derive_generator(base_seed, "interest-counts")
         )
 
@@ -74,22 +89,108 @@ class PopulationBuilder:
             users.append(
                 SyntheticUser(
                     user_id=index,
-                    country=countries[index],
-                    gender=genders[index],
+                    # Decode at the object-bridge boundary only; sampling
+                    # works on the int index column.
+                    country=codes[country_index[index]],
+                    gender=GENDER_TABLE[gender_index[index]],
                     age=int(ages[index]),
                     interest_ids=interests,
                 )
             )
         return Population(users, scale_factor=config.scale_factor)
 
-    def _sample_countries(self, n: int, base_seed: int) -> list[str]:
+    def build_columns(
+        self, seed: SeedLike = None, *, executor: ShardExecutor | None = None
+    ) -> Population:
+        """Build the population as a columnar store (no user objects).
+
+        Bit-identical to :meth:`build` for the same seed — see the module
+        docstring.  ``executor`` shards the per-user assignment stage over
+        contiguous row ranges (serial by default); every backend, worker
+        count and shard size produces the same columns.
+        """
+        config = self._config
+        base_seed = self._resolve_seed(seed)
+        codes, country_index = self._sample_country_index(config.n_agents, base_seed)
+        gender_index = sample_gender_index(
+            config.n_agents, derive_generator(base_seed, "genders")
+        )
+        ages = sample_ages(
+            config.n_agents, derive_generator(base_seed, "ages")
+        ).astype(np.int16)
+        counts = self._count_model().sample(
+            config.n_agents, derive_generator(base_seed, "interest-counts")
+        )
+        executor = executor or ShardExecutor()
+        runner = executor.runner()
+        payload = assigner_shard_payload(self._assigner, runner)
+        tasks = [
+            InterestShardTask(
+                assigner=payload,
+                base_seed=base_seed,
+                seed_key="user",
+                start=shard.start,
+                stop=shard.stop,
+                counts=counts[shard.rows],
+                topics_per_user=config.topics_per_user,
+            )
+            for shard in executor.plan(config.n_agents)
+        ]
+        fragments = runner.run(run_interest_shard, tasks)
+        row_counts = (
+            np.concatenate([f[1] for f in fragments])
+            if fragments
+            else np.zeros(0, dtype=np.int64)
+        )
+        indptr = np.zeros(config.n_agents + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        interest_ids = (
+            np.concatenate([f[0] for f in fragments])
+            if fragments
+            else np.zeros(0, dtype=np.int32)
+        )
+        columns = PanelColumns(
+            user_ids=np.arange(config.n_agents, dtype=np.int64),
+            country_codes=codes,
+            country_index=country_index,
+            gender_index=gender_index,
+            ages=ages,
+            indptr=indptr,
+            interest_ids=interest_ids,
+        )
+        return Population.from_columns(columns, scale_factor=config.scale_factor)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _resolve_seed(self, seed: SeedLike) -> int:
+        base_seed = self._config.seed if seed is None else int(seed)  # type: ignore[arg-type]
+        if isinstance(seed, np.random.Generator):
+            base_seed = int(seed.integers(0, 2**62))
+        return base_seed
+
+    def _count_model(self) -> InterestCountModel:
+        return InterestCountModel(
+            median=self._config.median_interests_per_user,
+            log10_sigma=self._config.interests_log10_sigma,
+            minimum=self._config.min_interests_per_user,
+            maximum=self._config.max_interests_per_user,
+        ).clipped_to_catalog(len(self._catalog))
+
+    def _sample_country_index(
+        self, n: int, base_seed: int
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        """Sample country assignments as ``(code_table, int16 index array)``.
+
+        Codes are decoded from the table only at the object-bridge boundary
+        (:meth:`build`); the columnar path stores the index column as-is.
+        """
         if n < 0:
             raise PopulationError("n must be non-negative")
         rng = derive_generator(base_seed, "countries")
-        codes = [country.code for country in TOP_50_COUNTRIES]
+        codes = tuple(country.code for country in TOP_50_COUNTRIES)
         weights = np.array(
             [country.fb_users_millions for country in TOP_50_COUNTRIES], dtype=float
         )
         weights = weights / weights.sum()
         draws = rng.choice(len(codes), size=n, p=weights)
-        return [codes[int(i)] for i in draws]
+        return codes, draws.astype(np.int16)

@@ -43,6 +43,27 @@ AGE_GROUP_BOUNDS: dict[AgeGroup, tuple[int, int]] = {
     AgeGroup.MATURITY: (65, 90),
 }
 
+#: Fixed code tables of the columnar panel store
+#: (:mod:`repro.population.columnar`): ``gender_index`` / ``age_group_index``
+#: columns hold positions into these tuples.  They live here, next to the
+#: enums, so samplers can emit codes without importing the store.
+GENDER_TABLE: tuple[Gender, ...] = (
+    Gender.MALE,
+    Gender.FEMALE,
+    Gender.UNDISCLOSED,
+)
+
+AGE_GROUP_TABLE: tuple[AgeGroup, ...] = (
+    AgeGroup.ADOLESCENCE,
+    AgeGroup.EARLY_ADULTHOOD,
+    AgeGroup.ADULTHOOD,
+    AgeGroup.MATURITY,
+    AgeGroup.UNDISCLOSED,
+)
+
+GENDER_CODES: dict[Gender, int] = {g: i for i, g in enumerate(GENDER_TABLE)}
+AGE_GROUP_CODES: dict[AgeGroup, int] = {g: i for i, g in enumerate(AGE_GROUP_TABLE)}
+
 
 def classify_age(age: int | None) -> AgeGroup:
     """Map an age in years to its :class:`AgeGroup` (None -> UNDISCLOSED)."""
@@ -65,15 +86,30 @@ def sample_age(group: AgeGroup, seed: SeedLike = None) -> int | None:
     return int(rng.integers(low, high + 1))
 
 
-def sample_genders(n: int, seed: SeedLike = None, *, female_share: float = 0.46) -> list[Gender]:
-    """Sample ``n`` genders for the general population (roughly balanced)."""
+def sample_gender_index(
+    n: int, seed: SeedLike = None, *, female_share: float = 0.46
+) -> np.ndarray:
+    """Sample ``n`` gender codes (:data:`GENDER_TABLE` positions) as ``int8``.
+
+    The vectorised core of :func:`sample_genders`: consumes the identical
+    ``rng.random(n)`` draw, so both entry points produce the same genders
+    for the same seed.
+    """
     if n < 0:
         raise PopulationError("n must be non-negative")
     if not 0.0 <= female_share <= 1.0:
         raise PopulationError("female_share must lie in [0, 1]")
     rng = as_generator(seed)
     draws = rng.random(n)
-    return [Gender.FEMALE if d < female_share else Gender.MALE for d in draws]
+    return np.where(
+        draws < female_share, GENDER_CODES[Gender.FEMALE], GENDER_CODES[Gender.MALE]
+    ).astype(np.int8)
+
+
+def sample_genders(n: int, seed: SeedLike = None, *, female_share: float = 0.46) -> list[Gender]:
+    """Sample ``n`` genders for the general population (roughly balanced)."""
+    codes = sample_gender_index(n, seed, female_share=female_share)
+    return [GENDER_TABLE[code] for code in codes]
 
 
 def sample_ages(n: int, seed: SeedLike = None) -> np.ndarray:

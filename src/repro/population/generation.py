@@ -1,0 +1,217 @@
+"""Sharded, bit-identical generation of columnar user panels.
+
+The object builders (:meth:`~repro.population.builder.PopulationBuilder.build`,
+:meth:`~repro.fdvt.panel.PanelBuilder.build`) draw demographics and interest
+counts as whole-array operations, then loop users, deriving one
+``derive_generator(base_seed, key, index)`` per user for the interest
+assignment.  Because every user's stream is derived independently of the
+loop, the per-user work is embarrassingly parallel *and* partition-free:
+any contiguous shard of rows reproduces exactly the draws the object path
+makes for those rows.
+
+:class:`InterestShardTask` packages one such shard as a picklable unit of
+work for a :class:`~repro.exec.runner.ShardRunner` — the same machinery the
+collection paths use.  In-process runners carry the live
+:class:`~repro.population.assignment.InterestAssigner`; across a process
+boundary the task carries an :class:`AssignerSpec` instead, and workers
+rebuild the assigner once per process through the shared
+:class:`~repro.cache.BuildCache` (the catalog stage key is the same one the
+pipeline and the reach-model spec use, so a worker that already built the
+catalog for a cached sweep reuses it here).
+
+Shard results concatenate in shard order into the CSR arrays of
+:class:`~repro.population.columnar.PanelColumns`, so every backend, worker
+count and shard size yields bit-identical columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .._rng import derive_generator
+from ..cache import BuildCache, build_cache, catalog_stage_key, stable_fingerprint
+from .columnar import AGE_GROUP_TABLE, AGE_UNDISCLOSED
+from .demographics import sample_age
+
+#: Per-process memo of assigners rebuilt from specs, keyed by the spec's
+#: content fingerprint (mirrors ``repro.exec.tasks._SPEC_MODELS``).
+_SPEC_ASSIGNERS: dict[str, Any] = {}
+
+#: Spec → fingerprint memo so shard dispatch pays a dataclass hash, not a
+#: SHA-256, per task.
+_SPEC_KEYS: dict["AssignerSpec", str] = {}
+
+
+@dataclass(frozen=True)
+class AssignerSpec:
+    """Everything a worker needs to rebuild an :class:`InterestAssigner`.
+
+    Mirrors :class:`~repro.reach.ReachModelSpec`: a few config dataclasses
+    instead of a pickled interest catalog.  ``catalog_config`` is the
+    :class:`~repro.config.CatalogConfig` the catalog was generated from and
+    ``catalog_seed`` its resolved stage seed.
+    """
+
+    catalog_config: Any
+    catalog_seed: int | None
+    topic_affinity_boost: float = 4.0
+    default_popularity_bias: float = 0.5
+    world_population: float | None = None
+
+    def fingerprint(self) -> str:
+        """Content fingerprint (collides exactly for bit-identical rebuilds)."""
+        return stable_fingerprint(
+            "spec:assigner",
+            {
+                "catalog": self._catalog_key(),
+                "topic_affinity_boost": float(self.topic_affinity_boost),
+                "default_popularity_bias": float(self.default_popularity_bias),
+            },
+        )
+
+    def _catalog_key(self) -> str:
+        from ..catalog import DEFAULT_WORLD_POPULATION
+
+        world = (
+            DEFAULT_WORLD_POPULATION
+            if self.world_population is None
+            else self.world_population
+        )
+        return catalog_stage_key(self.catalog_config, self.catalog_seed, world)
+
+    def build(self, cache: BuildCache | None = None) -> Any:
+        """Rebuild the assigner, sharing the catalog via ``cache``."""
+        from ..catalog import DEFAULT_WORLD_POPULATION, InterestCatalog
+        from .assignment import InterestAssigner
+
+        world = (
+            DEFAULT_WORLD_POPULATION
+            if self.world_population is None
+            else self.world_population
+        )
+
+        def generate() -> InterestCatalog:
+            return InterestCatalog.generate(
+                self.catalog_config, world_population=world, seed=self.catalog_seed
+            )
+
+        catalog = (
+            generate()
+            if cache is None
+            else cache.get_or_build(self._catalog_key(), generate)
+        )
+        return InterestAssigner(
+            catalog,
+            topic_affinity_boost=self.topic_affinity_boost,
+            default_popularity_bias=self.default_popularity_bias,
+            spec=self,
+        )
+
+
+def resolve_assigner(payload: Any) -> Any:
+    """Return a live assigner for ``payload``, rebuilding specs once per process."""
+    if isinstance(payload, AssignerSpec):
+        key = _SPEC_KEYS.get(payload)
+        if key is None:
+            key = payload.fingerprint()
+            _SPEC_KEYS[payload] = key
+        assigner = _SPEC_ASSIGNERS.get(key)
+        if assigner is None:
+            assigner = payload.build(cache=build_cache())
+            _SPEC_ASSIGNERS[key] = assigner
+        return assigner
+    return payload
+
+
+def assigner_shard_payload(assigner: Any, runner: Any) -> Any:
+    """Pick what a generation shard should carry for ``assigner`` under ``runner``.
+
+    Process runners get the assigner's :class:`AssignerSpec` when it has
+    one (cheap to pickle, rebuilt worker-side); otherwise the live object
+    is shipped and must pickle on its own.
+    """
+    if getattr(runner, "requires_pickling", False):
+        spec = getattr(assigner, "spec", None)
+        if spec is not None:
+            return spec
+    return assigner
+
+
+@dataclass(frozen=True)
+class InterestShardTask:
+    """One contiguous row range of per-user interest assignment.
+
+    Pure compute: re-derives each row's per-user generator from
+    ``(base_seed, seed_key, row)``, so re-running a shard (retries, chaos)
+    or re-partitioning the plan cannot change any draw.
+    """
+
+    #: A live :class:`InterestAssigner`, or an :class:`AssignerSpec`.
+    assigner: Any
+    #: The builder's resolved base seed.
+    base_seed: int
+    #: Per-user stream label: ``"user"`` (population) or ``"panel-user"``.
+    seed_key: str
+    #: Global row range ``[start, stop)`` this shard covers.
+    start: int
+    stop: int
+    #: Requested interests per row — one entry per covered row.
+    counts: np.ndarray
+    #: Preferred topics drawn per user from its stream.
+    topics_per_user: int
+    #: Per-row :data:`~repro.population.columnar.AGE_GROUP_TABLE` codes to
+    #: sample ages from inside the per-user stream (panel path), or ``None``
+    #: when ages were sampled as a whole-array stage (population path).
+    age_group_index: np.ndarray | None = None
+    #: Per-row popularity bias before jitter (panel path), or ``None`` for
+    #: the assigner's default bias with no jitter draw.
+    base_bias: np.ndarray | None = None
+    #: Std-dev of the per-user bias jitter draw (0 skips the draw).
+    bias_jitter: float = 0.0
+
+
+def run_interest_shard(
+    task: InterestShardTask,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Assign one shard's rows; returns ``(flat_ids, row_counts, ages)``.
+
+    ``flat_ids`` is the shard's CSR fragment (``int32``), ``row_counts``
+    the per-row lengths, and ``ages`` the sampled ``int16`` ages (``None``
+    when the task carries no age groups).  Bit-identical to the object
+    builders: the loop body consumes each per-user stream in exactly the
+    same order — age draw, bias jitter, preferred topics, assignment.
+    """
+    assigner = resolve_assigner(task.assigner)
+    n_rows = task.stop - task.start
+    row_counts = np.empty(n_rows, dtype=np.int64)
+    ages: np.ndarray | None = None
+    if task.age_group_index is not None:
+        ages = np.full(n_rows, AGE_UNDISCLOSED, dtype=np.int16)
+    flat: list[int] = []
+    for offset in range(n_rows):
+        user_rng = derive_generator(task.base_seed, task.seed_key, task.start + offset)
+        if task.age_group_index is not None:
+            group = AGE_GROUP_TABLE[task.age_group_index[offset]]
+            age = sample_age(group, user_rng)
+            if age is not None:
+                ages[offset] = age  # type: ignore[index]
+        bias: float | None = None
+        if task.base_bias is not None:
+            bias = float(task.base_bias[offset])
+            if task.bias_jitter > 0:
+                bias += float(user_rng.normal(0.0, task.bias_jitter))
+                bias = float(np.clip(round(bias, 2), 0.1, 0.95))
+        preferred = assigner.sample_preferred_topics(task.topics_per_user, user_rng)
+        interests = assigner.assign(
+            int(task.counts[offset]),
+            user_rng,
+            preferred_topics=preferred,
+            popularity_bias=bias,
+        )
+        row_counts[offset] = len(interests)
+        flat.extend(interests)
+    flat_ids = np.array(flat, dtype=np.int32) if flat else np.zeros(0, dtype=np.int32)
+    return flat_ids, row_counts, ages

@@ -81,7 +81,8 @@ class TestPanelBuilder:
 
         config = PanelConfig(median_interests_per_user=3.0, max_interests_per_user=5)
         builder = PanelBuilder(tiny_catalog, config)
-        countries = builder._assign_countries(2_390, base_seed=1)
+        codes, index = builder._assign_country_index(2_390, base_seed=1)
+        countries = [codes[i] for i in index]
         counts = {code: countries.count(code) for code in set(countries)}
         assert counts == PANEL_COUNTRY_COUNTS
 
