@@ -21,7 +21,16 @@ Quick start::
     print(report.summary_lines())
 """
 
-from .cache import BuildCache, CacheInfo, build_cache, stable_fingerprint
+from .cache import (
+    BuildCache,
+    CacheInfo,
+    DiskCache,
+    build_cache,
+    reset_build_cache,
+    resolve_cache_root,
+    resolve_cache_size,
+    stable_fingerprint,
+)
 from .config import (
     CatalogConfig,
     ExperimentConfig,
@@ -36,6 +45,7 @@ from .config import (
 )
 from .errors import (
     AdsApiError,
+    ArtifactError,
     CalibrationError,
     CatalogError,
     ConfigurationError,
@@ -88,6 +98,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdsApiError",
+    "ArtifactError",
     "BuildCache",
     "CacheInfo",
     "CalibrationError",
@@ -95,6 +106,7 @@ __all__ = [
     "CatalogError",
     "ConfigurationError",
     "DeliveryError",
+    "DiskCache",
     "ExecError",
     "ExperimentConfig",
     "FaultPlan",
@@ -140,6 +152,9 @@ __all__ = [
     "panel_fingerprint",
     "quick_config",
     "register_scenario",
+    "reset_build_cache",
+    "resolve_cache_root",
+    "resolve_cache_size",
     "resolve_panel_layout",
     "run_scenario",
     "run_trace",

@@ -15,7 +15,15 @@ sub-command per stage of the paper:
   across the shard-runner backends, and ``scenario sweep --spec file.json``
   sweeps a fully external grid (a JSON list of specs, or a base spec plus
   grid axes) on the same cached compile path — rows sharing catalog/panel
-  fingerprints build those stages once (:mod:`repro.cache`).
+  fingerprints build those stages once (:mod:`repro.cache`);
+* ``cache``            — the disk-backed artifact store: ``cache info``
+  reports tier sizes, ``cache clear`` empties the root and ``cache warm``
+  pre-builds the artifacts for a scenario/grid so later cold runs load
+  instead of rebuild.  The store root comes from ``--root``, the
+  ``REPRO_CACHE_ROOT`` environment variable or ``~/.cache/repro-facebook``;
+  setting ``REPRO_CACHE_ROOT`` also makes every other sub-command (and
+  process workers) hydrate through it.  ``REPRO_CACHE_SIZE`` bounds the
+  in-process LRU in front of it.
 
 Every sub-command accepts ``--factor`` (the scale divisor applied to the
 paper-scale configuration; 1 reproduces the full-scale study) and ``--seed``.
@@ -38,6 +46,12 @@ from typing import Sequence
 
 from . import PANEL_LAYOUTS, build_simulation, default_config, quick_config
 from .analysis import format_records, format_table
+from .cache import (
+    BuildCache,
+    DiskCache,
+    build_cache,
+    resolve_cache_root,
+)
 from .campaigns import AdvertiserWorkloadGenerator
 from .countermeasures import (
     evaluate_attack_protection,
@@ -56,7 +70,12 @@ from .adsapi import AdsManagerAPI
 from .config import PlatformConfig
 from .errors import ConfigurationError, ReproError, ServiceError
 from .faults import FaultPlan, RetryPolicy, WallClockRetryPolicy
-from .pipeline import Simulation
+from .pipeline import (
+    Simulation,
+    build_catalog,
+    build_panel,
+    panel_fingerprint,
+)
 from .exec import ShardExecutor
 from .service import ReachService, RequestTrace, ServiceConfig, run_trace
 from .simclock import SimClock
@@ -68,7 +87,7 @@ from .scenarios import (
     list_scenarios,
     run_scenario,
 )
-from .scenarios.sweep import ON_ERROR_MODES, coerce_axis_value
+from .scenarios.sweep import ON_ERROR_MODES, coerce_axis_value, manifest_path_for
 
 #: Exit codes of the console script: 0 success, 1 domain-level failure
 #: (e.g. dead-lettered scenarios, --fail-on-success), 2 configuration
@@ -79,11 +98,21 @@ EXIT_CONFIG_ERROR = 2
 EXIT_EXEC_ERROR = 3
 EXIT_SERVICE_ERROR = 4
 
+#: argparse ``const`` sentinel for ``--manifest`` / ``--resume`` given
+#: without a FILE: resolve a content-addressed path under the cache root.
+_MANIFEST_AUTO = object()
+
 
 def _build(args: argparse.Namespace) -> Simulation:
     config = default_config() if args.factor <= 1 else quick_config(factor=args.factor)
+    # The process-global cache carries a disk tier when REPRO_CACHE_ROOT
+    # is set, so repeat (and warmed) CLI runs hydrate the catalog/panel
+    # stages from disk; results are bit-identical either way.
     return build_simulation(
-        config, seed=args.seed, panel_layout=getattr(args, "panel_layout", None)
+        config,
+        seed=args.seed,
+        cache=build_cache(),
+        panel_layout=getattr(args, "panel_layout", None),
     )
 
 
@@ -403,11 +432,16 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
 
     Fault tolerance: ``--retries`` enables per-scenario retries,
     ``--on-error skip`` dead-letters failing scenarios instead of
-    aborting, ``--manifest FILE`` persists per-scenario outcomes
-    incrementally, and ``--resume FILE`` re-runs only the scenarios a
+    aborting, ``--manifest [FILE]`` persists per-scenario outcomes
+    incrementally, and ``--resume [FILE]`` re-runs only the scenarios a
     previous manifest did not complete (matched by full-spec
-    fingerprint).  ``--fault-rate`` injects deterministic chaos for
-    drills.  Exit status is 1 when any scenario dead-lettered.
+    fingerprint).  Given without FILE, both default to a
+    content-addressed path under the cache root (``REPRO_CACHE_ROOT`` or
+    ``~/.cache/repro-facebook``) derived from the resolved grid, so
+    resume state and cache hydration share one root; a bare ``--resume``
+    whose manifest does not exist yet simply starts fresh.
+    ``--fault-rate`` injects deterministic chaos for drills.  Exit
+    status is 1 when any scenario dead-lettered.
     """
     if args.spec is not None:
         if args.name is not None:
@@ -429,8 +463,18 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
         faults=faults,
         on_error=args.on_error,
     )
+    manifest_path = args.manifest
+    resume = args.resume
+    if manifest_path is _MANIFEST_AUTO or resume is _MANIFEST_AUTO:
+        auto_path = manifest_path_for(runner.resolve(specs))
+        if manifest_path is _MANIFEST_AUTO:
+            manifest_path = auto_path
+        if resume is _MANIFEST_AUTO:
+            # A bare --resume with no manifest yet is a fresh run, not an
+            # error — the first interrupted attempt creates the file.
+            resume = auto_path if auto_path.is_file() else None
     report = runner.run_report(
-        specs, resume=args.resume, manifest_path=args.manifest
+        specs, resume=resume, manifest_path=manifest_path
     )
     results = report.results
     print(
@@ -445,8 +489,8 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
             f"{counts['failed']} dead-lettered"
         )
     print(format_records(results.table_rows()))
-    if args.manifest:
-        print(f"manifest: {args.manifest}")
+    if manifest_path:
+        print(f"manifest: {manifest_path}")
     _write_json(args.output, {"scenarios": results.to_dicts()})
     if not report.ok:
         for line in report.failure_lines():
@@ -592,6 +636,99 @@ def cmd_faults(args: argparse.Namespace) -> int:
             else "NOT guaranteed — raise --retries above max_faults_per_task"
         )
     )
+    return 0
+
+
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count (binary units)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def _cache_disk(args: argparse.Namespace) -> DiskCache:
+    """The disk tier addressed by ``--root`` / REPRO_CACHE_ROOT / default."""
+    return DiskCache(resolve_cache_root(getattr(args, "root", None)))
+
+
+def cmd_cache_info(args: argparse.Namespace) -> int:
+    """Report the disk tier's root, artifact counts and byte totals."""
+    info = _cache_disk(args).info()
+    print(f"cache root: {info['root']}")
+    print(f"artifacts : {info['artifacts']} ({_format_bytes(info['bytes'])})")
+    for kind in sorted(info["kinds"]):
+        entry = info["kinds"][kind]
+        print(f"  {kind}: {entry['count']} ({_format_bytes(entry['bytes'])})")
+    print(f"manifests : {info['manifests']}")
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    """Remove every artifact and sweep manifest under the cache root."""
+    disk = _cache_disk(args)
+    removed = disk.clear()
+    print(f"removed {removed} file(s) from {disk.root}")
+    return 0
+
+
+def cmd_cache_warm(args: argparse.Namespace) -> int:
+    """Pre-build and publish the catalog/panel artifacts for a spec or grid.
+
+    With a registered scenario name (plus optional ``--grid`` axes) or a
+    ``--spec`` file, warms every distinct catalog/panel stage of the
+    resolved grid; without one, warms the default ``--factor``/``--seed``
+    configuration the other sub-commands build.  A later run against the
+    same root — any process, any worker count — hydrates those stages
+    from disk instead of rebuilding them, bit-identically.
+    """
+    disk = _cache_disk(args)
+    cache = BuildCache(disk=disk)
+    if args.spec is not None:
+        if args.name is not None:
+            raise SystemExit("give either a registered scenario name or --spec, not both")
+        if args.grid:
+            raise SystemExit("--grid belongs in the --spec file's 'grid' object")
+        specs = _load_spec_file(args.spec, args)
+    elif args.name is not None:
+        base = _scenario_with_overrides(args)
+        specs = expand_grid(base, _parse_grid(args.grid))
+    else:
+        specs = ()
+    if specs:
+        if args.sweep_seed is not None:
+            specs = tuple(spec.derived(args.sweep_seed) for spec in specs)
+        jobs = [(spec.config(), spec.seed) for spec in specs]
+    else:
+        config = (
+            default_config()
+            if (args.factor or 20) <= 1
+            else quick_config(factor=args.factor or 20)
+        )
+        jobs = [(config, args.seed)]
+    seen: set[str] = set()
+    for config, seed in jobs:
+        stage_key = panel_fingerprint(config, seed)
+        if stage_key in seen:
+            continue
+        seen.add(stage_key)
+        catalog = build_catalog(config, seed=seed, cache=cache)
+        build_panel(config, seed=seed, catalog=catalog, cache=cache)
+    info = cache.cache_info()
+    print(f"cache root: {disk.root}")
+    print(
+        f"warmed {len(seen)} stage group(s): {info.misses} artifact(s) built, "
+        f"{info.disk_hits} already on disk"
+    )
+    if info.disk_store_errors:
+        print(
+            f"warning: {info.disk_store_errors} artifact(s) could not be "
+            "published (unwritable root?)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -764,17 +901,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_sweep.add_argument(
         "--manifest",
+        nargs="?",
+        const=_MANIFEST_AUTO,
         default=None,
         metavar="FILE",
         help="persist per-scenario outcomes to FILE after every chunk "
-        "(a killed sweep leaves a valid --resume point)",
+        "(a killed sweep leaves a valid --resume point); without FILE, "
+        "a content-addressed path under the cache root (REPRO_CACHE_ROOT "
+        "or ~/.cache/repro-facebook) derived from the resolved grid",
     )
     scenario_sweep.add_argument(
         "--resume",
+        nargs="?",
+        const=_MANIFEST_AUTO,
         default=None,
         metavar="FILE",
         help="resume from a previous run's manifest: completed scenarios "
-        "whose spec fingerprint still matches hydrate instead of re-running",
+        "whose spec fingerprint still matches hydrate instead of re-running; "
+        "without FILE, the same cache-root default path as --manifest "
+        "(missing manifest = fresh run)",
     )
     scenario_sweep.add_argument(
         "--fault-rate",
@@ -900,6 +1045,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--attempts", type=int, default=2, help="attempts per task in the preview"
     )
     faults.set_defaults(handler=cmd_faults)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect, clear or warm the disk-backed artifact store",
+        description="Manage the content-addressed artifact store the build "
+        "cache hydrates from (REPRO_CACHE_ROOT; in-process LRU bound: "
+        "REPRO_CACHE_SIZE). Artifacts are keyed by stage fingerprint, "
+        "version-tagged and digest-checked, so corrupted or stale files "
+        "are rebuilt, never trusted.",
+    )
+    cache_subs = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_root(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--root",
+            default=None,
+            metavar="DIR",
+            help="cache root (default: REPRO_CACHE_ROOT or ~/.cache/repro-facebook)",
+        )
+
+    cache_info = cache_subs.add_parser(
+        "info", help="report artifact counts and sizes under the cache root"
+    )
+    add_cache_root(cache_info)
+    cache_info.set_defaults(handler=cmd_cache_info)
+
+    cache_clear = cache_subs.add_parser(
+        "clear", help="remove every artifact and sweep manifest under the root"
+    )
+    add_cache_root(cache_clear)
+    cache_clear.set_defaults(handler=cmd_cache_clear)
+
+    cache_warm = cache_subs.add_parser(
+        "warm",
+        help="pre-build the catalog/panel artifacts for a scenario or grid",
+    )
+    add_cache_root(cache_warm)
+    cache_warm.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered scenario name to warm (omit for the default "
+        "--factor/--seed configuration, or use --spec)",
+    )
+    cache_warm.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="warm every stage of an external spec/grid file "
+        "(same format as `scenario sweep --spec`)",
+    )
+    cache_warm.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2",
+        help="grid axes over the named scenario (same syntax as "
+        "`scenario sweep --grid`)",
+    )
+    cache_warm.add_argument(
+        "--factor", type=int, default=None, help="scale divisor (default 20)"
+    )
+    cache_warm.add_argument(
+        "--seed", type=int, default=None, help="seed of the warmed stages"
+    )
+    cache_warm.add_argument(
+        "--sweep-seed",
+        type=int,
+        default=None,
+        help="derive per-scenario seeds like `scenario sweep --sweep-seed`",
+    )
+    cache_warm.set_defaults(handler=cmd_cache_warm)
 
     return parser
 

@@ -185,6 +185,15 @@ class CustomAudienceError(AdsApiError):
     """A custom audience violates the platform requirements (e.g. size < 100)."""
 
 
+class ArtifactError(ReproError):
+    """A disk-cache artifact failed a version, kind or integrity check.
+
+    The disk tier (:class:`repro.cache.DiskCache`) maps this — like every
+    other load failure — to a miss, so a corrupted, truncated or
+    stale-format artifact is rebuilt, never trusted.
+    """
+
+
 class DeliveryError(ReproError):
     """The delivery engine was driven with inconsistent inputs."""
 

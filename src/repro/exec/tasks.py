@@ -60,7 +60,11 @@ def resolve_backend(payload: Any) -> Any:
     Rebuilds route through the process-global
     :class:`~repro.cache.BuildCache`, so a worker that already generated
     the catalog for a cached sweep chunk reuses it for the reach model
-    (and vice versa) instead of paying the build twice.
+    (and vice versa) instead of paying the build twice.  When
+    ``REPRO_CACHE_ROOT`` is set, that cache carries a disk tier — workers
+    inherit the environment, so a cold process pool hydrates every
+    catalog rebuild from the shared root instead of regenerating it
+    per worker.
     """
     if isinstance(payload, ReachModelSpec):
         key = _SPEC_KEYS.get(payload)

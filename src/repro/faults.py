@@ -79,8 +79,10 @@ _R = TypeVar("_R")
 FAULT_KINDS = ("transient_api", "task_error", "slow", "crash")
 
 #: Where a plan's decisions fire: at the retry-guard boundary (before the
-#: task body) or inside the task body at :func:`fire_inner` sites.
-FAULT_DEPTHS = ("guard", "kernel")
+#: task body), inside the task body at :func:`fire_inner` sites
+#: (``"kernel"``), or inside the build cache's disk-tier load/store paths
+#: (``"cache"`` — see :class:`repro.cache.DiskCache`).
+FAULT_DEPTHS = ("guard", "kernel", "cache")
 
 #: Environment variables read by :func:`ambient_chaos` (the CI chaos lane).
 FAULT_RATE_ENV = "REPRO_FAULT_RATE"
@@ -129,9 +131,11 @@ class FaultPlan:
     #: more attempts) guarantees every chaos run converges.
     max_faults_per_task: int = 2
     #: Where decisions fire: ``"guard"`` (before the task body, the PR 6
-    #: boundary) or ``"kernel"`` (inside the body at :func:`fire_inner`
-    #: sites — error kinds only, since latency and worker exits belong to
-    #: the guard layer).
+    #: boundary), ``"kernel"`` (inside the body at :func:`fire_inner`
+    #: sites) or ``"cache"`` (inside the disk tier's load/store paths —
+    #: the tier degrades to rebuild, never to a partial artifact).  The
+    #: inner depths inject error kinds only, since latency and worker
+    #: exits belong to the guard layer.
     depth: str = "guard"
 
     def __post_init__(self) -> None:
@@ -151,9 +155,9 @@ class FaultPlan:
             raise ConfigurationError(
                 f"unknown fault depth: {self.depth!r} (expected one of {FAULT_DEPTHS})"
             )
-        if self.depth == "kernel" and (self.slow_rate > 0 or self.crash_rate > 0):
+        if self.depth != "guard" and (self.slow_rate > 0 or self.crash_rate > 0):
             raise ConfigurationError(
-                "kernel-depth plans inject error kinds only — "
+                f"{self.depth}-depth plans inject error kinds only — "
                 "slow_rate and crash_rate must be 0"
             )
 

@@ -1,5 +1,11 @@
-"""Dataset and report (de)serialisation."""
+"""Dataset, report and cache-artifact (de)serialisation."""
 
+from .artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    CATALOG_CODEC,
+    CatalogArtifactCodec,
+    PanelArtifactCodec,
+)
 from .serialization import (
     experiment_report_to_dict,
     load_catalog,
@@ -12,6 +18,10 @@ from .serialization import (
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "CATALOG_CODEC",
+    "CatalogArtifactCodec",
+    "PanelArtifactCodec",
     "experiment_report_to_dict",
     "load_catalog",
     "load_panel",

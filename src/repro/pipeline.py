@@ -55,6 +55,7 @@ from .delivery import ClickLog, DeliveryEngine
 from .errors import ConfigurationError
 from .exec import ShardExecutor
 from .fdvt import FDVTExtension, FDVTPanel, PanelBuilder
+from .io.artifacts import CATALOG_CODEC, PanelArtifactCodec
 from .population import AssignerSpec, InterestAssigner
 from .reach import ReachModelSpec, StatisticalReachModel, country_codes
 from .simclock import SimClock
@@ -214,7 +215,10 @@ def build_catalog(
     ``cache``, the catalog is keyed by :func:`catalog_fingerprint` and
     shared with every other build of the same stage — including the reach
     model rebuilds of process-pool shard workers, which use the same key
-    (:meth:`repro.reach.ReachModelSpec.build`).
+    (:meth:`repro.reach.ReachModelSpec.build`).  A cache with a disk tier
+    hydrates the catalog from (and publishes it to) its root, so cold
+    processes load instead of regenerating; loaded catalogs are
+    bit-identical to generated ones.
     """
     stage_seed = _catalog_seed(config, seed)
 
@@ -223,7 +227,9 @@ def build_catalog(
 
     if cache is None:
         return generate()
-    return cache.get_or_build(catalog_fingerprint(config, seed), generate)
+    return cache.get_or_build(
+        catalog_fingerprint(config, seed), generate, codec=CATALOG_CODEC
+    )
 
 
 def build_panel(
@@ -244,8 +250,10 @@ def build_panel(
     ``layout`` picks the storage mode (see :func:`resolve_panel_layout`);
     the columnar and object panels hold bit-identical content, so the
     cache key (:func:`panel_fingerprint`) is layout-free and a cached
-    panel of either mode satisfies both.  ``executor`` shards the columnar
-    generation loop (serial by default; ignored for object layout).
+    panel of either mode satisfies both — a panel hydrated from a cache's
+    disk tier is always columnar, for the same reason.  ``executor``
+    shards the columnar generation loop (serial by default; ignored for
+    object layout).
     """
     if catalog is None:
         catalog = build_catalog(config, seed=seed, cache=cache)
@@ -270,7 +278,9 @@ def build_panel(
 
     if cache is None:
         return assemble()
-    return cache.get_or_build(panel_fingerprint(config, seed), assemble)
+    return cache.get_or_build(
+        panel_fingerprint(config, seed), assemble, codec=PanelArtifactCodec(catalog)
+    )
 
 
 def assemble_simulation(

@@ -83,8 +83,14 @@ class AssignerSpec:
         return catalog_stage_key(self.catalog_config, self.catalog_seed, world)
 
     def build(self, cache: BuildCache | None = None) -> Any:
-        """Rebuild the assigner, sharing the catalog via ``cache``."""
+        """Rebuild the assigner, sharing the catalog via ``cache``.
+
+        A cache with a disk tier hydrates the catalog from its root
+        (same key and codec as :func:`repro.pipeline.build_catalog`), so
+        cold process-pool generation workers load instead of regenerate.
+        """
         from ..catalog import DEFAULT_WORLD_POPULATION, InterestCatalog
+        from ..io.artifacts import CATALOG_CODEC
         from .assignment import InterestAssigner
 
         world = (
@@ -101,7 +107,7 @@ class AssignerSpec:
         catalog = (
             generate()
             if cache is None
-            else cache.get_or_build(self._catalog_key(), generate)
+            else cache.get_or_build(self._catalog_key(), generate, codec=CATALOG_CODEC)
         )
         return InterestAssigner(
             catalog,

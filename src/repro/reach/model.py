@@ -132,7 +132,9 @@ class ReachModelSpec:
         the expensive part — is keyed by the same catalog-stage
         fingerprint :func:`repro.pipeline.build_catalog` uses, so a
         worker that already compiled a sweep simulation reuses its
-        catalog here (and vice versa).  The model shell itself is always
+        catalog here (and vice versa) — and a cache with a disk tier lets
+        a cold process worker *load* the catalog from the shared root
+        instead of regenerating it.  The model shell itself is always
         fresh: its memo caches are per-instance run state.
         """
 
@@ -146,10 +148,14 @@ class ReachModelSpec:
         if cache is None:
             catalog = generate()
         else:
+            # Local import: repro.io reaches this module through the fdvt
+            # → exec chain, so a module-level import would cycle.
+            from ..io.artifacts import CATALOG_CODEC
+
             key = catalog_stage_key(
                 self.catalog_config, self.catalog_seed, self.catalog_world_population
             )
-            catalog = cache.get_or_build(key, generate)
+            catalog = cache.get_or_build(key, generate, codec=CATALOG_CODEC)
         return StatisticalReachModel(
             catalog,
             self.reach_config,

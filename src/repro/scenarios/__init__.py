@@ -59,7 +59,7 @@ from .experiments import (
 from .manifest import ManifestEntry, RunManifest
 from .registry import get_scenario, list_scenarios, register_scenario
 from .spec import API_TIERS, LOCATION_MIXES, STRATEGY_NAMES, STUDIES, ScenarioSpec
-from .sweep import SweepReport, SweepRunner, expand_grid
+from .sweep import SweepReport, SweepRunner, expand_grid, manifest_path_for
 
 __all__ = [
     "API_TIERS",
@@ -80,6 +80,7 @@ __all__ = [
     "expand_grid",
     "get_scenario",
     "list_scenarios",
+    "manifest_path_for",
     "parse_rules",
     "register_scenario",
     "run_experiment",

@@ -226,6 +226,7 @@ class RunManifest:
     def save(self, path: str | Path) -> Path:
         """Write the manifest as JSON (atomically: write-then-rename)."""
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
         tmp.replace(path)

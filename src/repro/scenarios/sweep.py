@@ -52,7 +52,7 @@ from itertools import product
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from ..cache import build_cache
+from ..cache import build_cache, resolve_cache_root, stable_fingerprint
 from ..core.results import ResultSet, ScenarioResult
 from ..errors import ConfigurationError
 from ..exec import ShardExecutor
@@ -438,6 +438,30 @@ class SweepRunner:
         if manifest_path is not None:
             ordered.save(manifest_path)
         return SweepReport(results=results.finalize(), manifest=ordered)
+
+
+def manifest_path_for(
+    specs: Sequence[ScenarioSpec], root: str | Path | None = None
+) -> Path:
+    """The content-addressed default manifest path for a *resolved* grid.
+
+    Folds sweep manifests into the disk-cache root (explicit ``root`` >
+    ``REPRO_CACHE_ROOT`` > ``~/.cache/repro-facebook``, the same
+    resolution the artifact tier uses): the path is
+    ``<root>/manifests/<digest>.json`` where the digest fingerprints the
+    full-spec fingerprints of the grid in order.  The same sweep command
+    therefore always maps to the same manifest file — which is what lets
+    ``--resume`` with no argument find the manifest a killed run left
+    behind, and keeps resume state and artifact hydration in one root.
+
+    ``specs`` must already carry their derived per-row seeds (pass them
+    through :meth:`SweepRunner.resolve`); otherwise two sweeps differing
+    only in ``--sweep-seed`` would collide on one manifest.
+    """
+    digest = stable_fingerprint(
+        "sweep-manifest", {"specs": [spec.fingerprint() for spec in specs]}
+    )
+    return resolve_cache_root(root) / "manifests" / f"{digest}.json"
 
 
 def _retry_clock_note(retry: RetryPolicy | None) -> str:

@@ -297,8 +297,12 @@ class TestSweepBuildSharing:
         build_cache().clear()
         results = runner.run(grid)
         info = build_cache().cache_info()
-        assert info.misses == 2  # one catalog + one panel for all 8 rows
-        assert info.hits == 2 * (len(grid) - 1)
+        # One catalog + one panel fetched from outside memory for all 8
+        # rows.  When REPRO_CACHE_ROOT points the process cache at a
+        # warmed disk root those two arrive as disk hits instead of
+        # builds; either way nothing is built more than once.
+        assert info.misses + info.disk_hits == 2
+        assert info.memory_hits == 2 * (len(grid) - 1)
         assert results.names == tuple(spec.name for spec in grid)
 
     def test_seed_axis_rows_do_not_share_builds(self):

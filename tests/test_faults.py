@@ -324,14 +324,15 @@ class TestKernelDepthInjection:
         fire_inner("kernel")  # outside any guarded_call: nothing to fire
 
     def test_depth_is_validated(self):
-        assert FAULT_DEPTHS == ("guard", "kernel")
+        assert FAULT_DEPTHS == ("guard", "kernel", "cache")
         with pytest.raises(ConfigurationError):
             FaultPlan(seed=1, error_rate=0.1, depth="basement")
         # Latency and worker exits belong to the guard layer only.
-        with pytest.raises(ConfigurationError):
-            FaultPlan(seed=1, slow_rate=0.1, depth="kernel")
-        with pytest.raises(ConfigurationError):
-            FaultPlan(seed=1, crash_rate=0.1, depth="kernel")
+        for inner in ("kernel", "cache"):
+            with pytest.raises(ConfigurationError):
+                FaultPlan(seed=1, slow_rate=0.1, depth=inner)
+            with pytest.raises(ConfigurationError):
+                FaultPlan(seed=1, crash_rate=0.1, depth=inner)
 
     def test_kernel_faults_fire_inside_the_task_body(self):
         plan = FaultPlan(seed=3, error_rate=1.0, depth="kernel", max_faults_per_task=1)
