@@ -37,6 +37,11 @@ the hot paths industrialised by the batched pipeline —
   overlap scale; ``--scale-users 1000000`` is the million-user acceptance
   run),
 
+* the **assignment-rate stage** (the batched ``assign_rows`` interest
+  kernel vs the per-user ``assign`` loop on one panel-shaped shard, outputs
+  hard-checked bit-identical; ``--min-assign-rate`` / ``--min-assign-gain``
+  gate the kernel's users/s and its speedup),
+
 * the **cold-start stage** (hydrating the panel from the disk-backed
   content-addressed artifact store vs rebuilding it from scratch, with
   the hydrated columns hard-checked bit-identical;
@@ -72,7 +77,7 @@ from repro import (
     build_simulation,
     quick_config,
 )
-from repro._rng import as_generator
+from repro._rng import as_generator, derive_generator
 from repro.cache import BuildCache, DiskCache, build_cache
 from repro.adsapi import AdsManagerAPI
 from repro.config import PlatformConfig, UniquenessConfig
@@ -88,7 +93,15 @@ from repro.core.fitting import fit_vas
 from repro.errors import ModelError
 from repro.exec import FaultPlan, RetryPolicy, ShardExecutor, drain
 from repro.fdvt import FDVTExtension, FDVTPanel
-from repro.population import SyntheticUser
+from repro.population import (
+    AGE_GROUP_TABLE,
+    InterestAssigner,
+    InterestCountModel,
+    InterestShardTask,
+    SyntheticUser,
+    run_interest_shard,
+    run_interest_shard_reference,
+)
 from repro.reach import country_codes
 from repro.scenarios import ScenarioSpec, SweepRunner, expand_grid
 from repro.service import ReachService, RequestTrace, ServiceConfig, run_trace
@@ -299,6 +312,100 @@ SCALE_PARITY_USERS = 1_000
 SCALE_BOOTSTRAP = 50
 SCALE_SEED = 20211102
 
+#: Row count for the assignment-rate stage.  The per-user reference loop
+#: runs at a few thousand users/s, so the stage is capped rather than
+#: scaled with ``--scale-users`` (the kernel's gain is row-count
+#: independent once past a few hundred rows).
+ASSIGN_RATE_USERS = 5_000
+
+
+def _assignment_stage(config, catalog) -> dict:
+    """Assignment-rate stage: batched kernel vs the per-user reference loop.
+
+    Times :func:`~repro.population.generation.run_interest_shard` (the
+    batched ``assign_rows`` kernel) against
+    :func:`~repro.population.generation.run_interest_shard_reference`
+    (the pre-kernel per-user ``assign`` loop) on one panel-shaped shard —
+    jittered per-row biases, per-row age draws, preferred-topic draws —
+    and hard-checks the outputs bit-identical.  ``--min-assign-rate`` /
+    ``--min-assign-gain`` gate the kernel's users/s and its speedup.
+    """
+    n_rows = ASSIGN_RATE_USERS
+    print(f"interest assignment ({n_rows:,} panel rows, batched kernel vs loop):")
+    assigner = InterestAssigner(catalog)
+    counts = InterestCountModel(
+        median=config.panel.median_interests_per_user,
+        log10_sigma=config.panel.interests_log10_sigma,
+        minimum=config.panel.min_interests_per_user,
+        maximum=config.panel.max_interests_per_user,
+    ).clipped_to_catalog(len(catalog)).sample(
+        n_rows, derive_generator(SCALE_SEED, "panel-interest-counts")
+    )
+    stage_rng = np.random.default_rng(SCALE_SEED)
+    age_group_index = stage_rng.integers(
+        0, len(AGE_GROUP_TABLE), size=n_rows
+    ).astype(np.int16)
+    base_bias = np.full(n_rows, 0.5, dtype=np.float64)
+
+    def make_task(stop: int) -> InterestShardTask:
+        return InterestShardTask(
+            assigner=assigner,
+            base_seed=SCALE_SEED,
+            seed_key="panel-user",
+            start=0,
+            stop=stop,
+            counts=counts[:stop],
+            topics_per_user=3,
+            age_group_index=age_group_index[:stop],
+            base_bias=base_bias[:stop],
+            bias_jitter=float(config.panel.popularity_bias_jitter),
+        )
+
+    # Warm the per-bias derived tables so neither side pays first-call
+    # table builds inside its timed run.
+    run_interest_shard(make_task(min(200, n_rows)))
+    run_interest_shard_reference(make_task(min(200, n_rows)))
+
+    # Interleaved best-of-3: the ~3-4x margin is real but single-shot
+    # timings of the two sides drift enough on shared runners to flirt
+    # with the 3x gate.
+    outputs: dict[str, tuple] = {}
+
+    def reference_run():
+        outputs["reference"] = run_interest_shard_reference(make_task(n_rows))
+
+    def kernel_run():
+        outputs["kernel"] = run_interest_shard(make_task(n_rows))
+
+    reference_s, kernel_s, _ = _paired_best(3, reference_run, kernel_run)
+    reference_out = outputs["reference"]
+    kernel_out = outputs["kernel"]
+    print(f"  {'per-user reference loop (best of 3)':<38s} {reference_s * 1000.0:10.1f} ms")
+    print(f"  {'batched assign_rows kernel (best of 3)':<38s} {kernel_s * 1000.0:10.1f} ms")
+    assign_parity = bool(
+        np.array_equal(reference_out[0], kernel_out[0])
+        and np.array_equal(reference_out[1], kernel_out[1])
+        and np.array_equal(reference_out[2], kernel_out[2])
+    )
+    reference_rate = n_rows / reference_s if reference_s > 0 else float("inf")
+    kernel_rate = n_rows / kernel_s if kernel_s > 0 else float("inf")
+    assign_gain = reference_s / kernel_s if kernel_s > 0 else float("inf")
+    print(
+        f"  assignment rate: {reference_rate:,.0f} -> {kernel_rate:,.0f} "
+        f"users/s ({assign_gain:.2f}x)"
+    )
+    print(f"  shard outputs bit-identical: {assign_parity}")
+    return {
+        "rows": n_rows,
+        "interests_assigned": int(kernel_out[1].sum()),
+        "reference_seconds": reference_s,
+        "kernel_seconds": kernel_s,
+        "reference_rate_users_per_s": reference_rate,
+        "kernel_rate_users_per_s": kernel_rate,
+        "assign_gain": assign_gain,
+        "parity": {"assignment_kernel_bit_identical": assign_parity},
+    }
+
 
 def _scale_config(scale_users: int):
     """A scale-stage config: small catalog, ``scale_users`` panellists.
@@ -337,6 +444,8 @@ def _scale_stage(scale_users: int, parity_users: int) -> dict:
     config = _scale_config(scale_users)
     catalog = build_catalog(config, seed=SCALE_SEED)
     executor = ShardExecutor(backend="thread", workers=SHARD_WORKERS)
+
+    assignment = _assignment_stage(config, catalog)
 
     tracemalloc.start()
     build_s, panel = _timed(
@@ -448,7 +557,13 @@ def _scale_stage(scale_users: int, parity_users: int) -> dict:
         "stream_bootstrap_seconds": bootstrap_s,
         "tracemalloc_peak_mb": tracemalloc_peak_mb,
         "peak_rss_mb": peak_rss_mb,
-        "parity": {"scale_columnar_parity": parity_ok},
+        "assignment": {
+            key: value for key, value in assignment.items() if key != "parity"
+        },
+        "parity": {
+            "scale_columnar_parity": parity_ok,
+            **assignment["parity"],
+        },
     }
 
 
@@ -971,6 +1086,20 @@ def main() -> int:
         help="exit non-zero when the process peak RSS after the scale "
         "stage's build->collect->bootstrap chain exceeds this many MB",
     )
+    parser.add_argument(
+        "--min-assign-rate",
+        type=float,
+        default=None,
+        help="exit non-zero unless the batched assign_rows kernel sustains "
+        "this many users/s on the assignment-rate stage",
+    )
+    parser.add_argument(
+        "--min-assign-gain",
+        type=float,
+        default=None,
+        help="exit non-zero unless the batched assign_rows kernel beats the "
+        "per-user reference loop by this factor on the assignment-rate stage",
+    )
     args = parser.parse_args()
 
     factor = args.factor or (QUICK_SCALE_FACTOR if args.quick else BENCH_SCALE_FACTOR)
@@ -1072,6 +1201,22 @@ def main() -> int:
             print(
                 f"FAIL: columnar build rate {achieved:,.0f} users/s < required "
                 f"{args.min_build_rate:,.0f} users/s"
+            )
+            failed = True
+    if args.min_assign_rate is not None:
+        achieved = record["scale"]["assignment"]["kernel_rate_users_per_s"]
+        if achieved < args.min_assign_rate:
+            print(
+                f"FAIL: assignment rate {achieved:,.0f} users/s < required "
+                f"{args.min_assign_rate:,.0f} users/s"
+            )
+            failed = True
+    if args.min_assign_gain is not None:
+        achieved = record["scale"]["assignment"]["assign_gain"]
+        if achieved < args.min_assign_gain:
+            print(
+                f"FAIL: assignment kernel gain {achieved:.2f}x < required "
+                f"{args.min_assign_gain:.2f}x"
             )
             failed = True
     if args.max_scale_rss_mb is not None:

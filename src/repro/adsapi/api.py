@@ -26,6 +26,7 @@ from ..errors import (
     RateLimitExceededError,
     TargetingValidationError,
 )
+from ..faults import fire_inner
 from ..reach.backend import ReachBackend
 from ..simclock import SimClock
 from .account import AdAccount
@@ -348,7 +349,14 @@ class AdsManagerAPI:
         contract: each tick folds every admitted request into one matrix
         and settles one merged bill here, regardless of how many tenants
         contributed rows or how many retries a tick burned.
+
+        The :func:`~repro.faults.fire_inner` site fires *before* the
+        bucket drains: a ``depth="billing"`` fault plan makes the settle
+        raise with no accounting trace, so the coordinator's retry settles
+        the same merged bill exactly once — the chaos-parity tests pin
+        throttle counters and clock bit-identical to a fault-free run.
         """
+        fire_inner("billing")
         self._throttle_bulk(bill.reach_estimates)
 
     def record_reach_bill(self, bill: CallBill) -> None:

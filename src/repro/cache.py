@@ -104,6 +104,7 @@ __all__ = [
     "BuildCache",
     "CacheInfo",
     "DiskCache",
+    "SpecMemo",
     "build_cache",
     "catalog_stage_key",
     "reset_build_cache",
@@ -211,6 +212,71 @@ def resolve_cache_root(explicit: str | Path | None = None) -> Path:
     return DEFAULT_CACHE_ROOT.expanduser()
 
 
+class SpecMemo:
+    """Bounded per-process memo of artifacts rebuilt from frozen specs.
+
+    Worker processes resolve shard payloads (reach-model specs, assigner
+    specs) to live objects once per process — but long-lived sweep and
+    service workers see an unbounded variety of specs over their lifetime,
+    so an unbounded ``dict`` memo is a slow leak.  This is the bounded
+    replacement: an LRU keyed like the build cache (by the spec's content
+    fingerprint), with a second small LRU memoising spec → fingerprint so
+    the shard hot path pays a dataclass hash per task, not a SHA-256.
+
+    Not thread-safe by design: worker-side resolution happens on one
+    thread per process, and a lost race would only rebuild an artifact
+    twice, never corrupt it.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("SpecMemo maxsize must be >= 1")
+        self._maxsize = int(maxsize)
+        self._keys: OrderedDict[Any, str] = OrderedDict()
+        self._artifacts: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    @property
+    def maxsize(self) -> int:
+        """Bound on memoised artifacts (the key memo holds 4x as many)."""
+        return self._maxsize
+
+    def key_for(self, spec: Any) -> str:
+        """``spec.fingerprint()``, memoised per spec value."""
+        key = self._keys.get(spec)
+        if key is None:
+            key = spec.fingerprint()
+            self._keys[spec] = key
+            # Distinct spec values can share a fingerprint (e.g. defaults
+            # spelled explicitly), so the key memo gets its own, larger
+            # allowance instead of riding the artifact bound.
+            if len(self._keys) > 4 * self._maxsize:
+                self._keys.popitem(last=False)
+        else:
+            self._keys.move_to_end(spec)
+        return key
+
+    def get_or_build(self, spec: Any, build: Callable[[Any], Any]) -> Any:
+        """The artifact for ``spec``, building via ``build(spec)`` on a miss."""
+        key = self.key_for(spec)
+        artifact = self._artifacts.get(key)
+        if artifact is None:
+            artifact = build(spec)
+            self._artifacts[key] = artifact
+            if len(self._artifacts) > self._maxsize:
+                self._artifacts.popitem(last=False)
+        else:
+            self._artifacts.move_to_end(key)
+        return artifact
+
+    def clear(self) -> None:
+        """Drop every memoised key and artifact (test isolation hook)."""
+        self._keys.clear()
+        self._artifacts.clear()
+
+
 class ArtifactCodec(Protocol):
     """How one artifact type serialises to a single disk file.
 
@@ -274,9 +340,17 @@ class DiskCache:
             fire_inner("cache")
             if not path.is_file():
                 return "miss", None
-            return "hit", codec.decode(path)
+            artifact = codec.decode(path)
         except Exception:
             return "error", None
+        # Mark the artifact recently-used so :meth:`prune`'s LRU-by-mtime
+        # ordering reflects reads, not just writes.  Best-effort: a
+        # read-only root still serves hits.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return "hit", artifact
 
     def store(self, key: str, codec: ArtifactCodec, artifact: Any) -> bool:
         """Publish ``artifact`` atomically; False (never an error) on failure."""
@@ -350,6 +424,54 @@ class DiskCache:
             "bytes": total_bytes,
             "kinds": kinds,
             "manifests": len(self.manifest_paths()),
+        }
+
+    def prune(self, max_bytes: int) -> dict[str, int]:
+        """Evict least-recently-used artifacts until the root fits ``max_bytes``.
+
+        Eviction order is by mtime, oldest first — :meth:`load` touches an
+        artifact on every hit, so mtime order *is* recency order.  Each
+        eviction is a single atomic ``unlink``: a concurrent reader that
+        already opened the file keeps its data (POSIX keeps unlinked inodes
+        readable), and one that races the unlink sees an ordinary miss and
+        rebuilds — an object is never observed half-deleted.  Stray temp
+        files and manifests are left alone (temp files belong to in-flight
+        stores; manifests are tiny and name-addressed).
+
+        Returns ``{"removed", "freed_bytes", "remaining_bytes"}``.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError("max_bytes must be non-negative")
+        entries: list[tuple[int, int, Path]] = []
+        total = 0
+        for path in self.artifact_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                # A racing pruner (or clear) got there first; its bytes are
+                # gone either way.
+                freed += size
+                continue
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_bytes": max(total - freed, 0),
         }
 
     def clear(self) -> int:

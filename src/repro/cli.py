@@ -17,9 +17,10 @@ sub-command per stage of the paper:
   grid axes) on the same cached compile path — rows sharing catalog/panel
   fingerprints build those stages once (:mod:`repro.cache`);
 * ``cache``            — the disk-backed artifact store: ``cache info``
-  reports tier sizes, ``cache clear`` empties the root and ``cache warm``
-  pre-builds the artifacts for a scenario/grid so later cold runs load
-  instead of rebuild.  The store root comes from ``--root``, the
+  reports tier sizes, ``cache clear`` empties the root, ``cache prune
+  --max-bytes N`` evicts least-recently-used artifacts down to a byte
+  budget and ``cache warm`` pre-builds the artifacts for a scenario/grid
+  so later cold runs load instead of rebuild.  The store root comes from ``--root``, the
   ``REPRO_CACHE_ROOT`` environment variable or ``~/.cache/repro-facebook``;
   setting ``REPRO_CACHE_ROOT`` also makes every other sub-command (and
   process workers) hydrate through it.  ``REPRO_CACHE_SIZE`` bounds the
@@ -674,6 +675,26 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache_prune(args: argparse.Namespace) -> int:
+    """Evict least-recently-used artifacts until the root fits a byte budget.
+
+    Recency is artifact mtime — refreshed on every disk hit — so the
+    artifacts still hydrating runs survive and cold leftovers from old
+    sweeps go first.  Eviction is per-file unlink: a reader that already
+    opened a pruned artifact keeps its file handle, and a key pruned
+    mid-build is simply rebuilt and republished on the next miss.
+    """
+    disk = _cache_disk(args)
+    stats = disk.prune(args.max_bytes)
+    print(f"cache root: {disk.root}")
+    print(
+        f"pruned {stats['removed']} artifact(s) ({_format_bytes(stats['freed_bytes'])}); "
+        f"{_format_bytes(stats['remaining_bytes'])} of "
+        f"{_format_bytes(args.max_bytes)} budget in use"
+    )
+    return 0
+
+
 def cmd_cache_warm(args: argparse.Namespace) -> int:
     """Pre-build and publish the catalog/panel artifacts for a spec or grid.
 
@@ -1076,6 +1097,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cache_root(cache_clear)
     cache_clear.set_defaults(handler=cmd_cache_clear)
+
+    cache_prune = cache_subs.add_parser(
+        "prune",
+        help="evict least-recently-used artifacts down to a byte budget",
+    )
+    add_cache_root(cache_prune)
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="N",
+        help="byte budget to shrink the artifact store to (oldest-mtime "
+        "artifacts are unlinked first; disk hits refresh mtime)",
+    )
+    cache_prune.set_defaults(handler=cmd_cache_prune)
 
     cache_warm = cache_subs.add_parser(
         "warm",

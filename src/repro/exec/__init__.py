@@ -73,7 +73,12 @@ from .runner import (
     make_runner,
 )
 from .sink import Sink, drain
-from .tasks import ReachShardTask, run_reach_shard, shard_backend_payload
+from .tasks import (
+    ReachShardTask,
+    clear_spec_memo,
+    run_reach_shard,
+    shard_backend_payload,
+)
 
 __all__ = [
     "DEFAULT_SHARD_ROWS",
@@ -88,6 +93,7 @@ __all__ = [
     "ShardRunner",
     "Sink",
     "ThreadRunner",
+    "clear_spec_memo",
     "drain",
     "make_runner",
     "run_reach_shard",

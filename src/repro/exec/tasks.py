@@ -23,19 +23,22 @@ from typing import Any
 import numpy as np
 
 from ..adsapi.reachestimate import apply_reporting_floor_matrix
-from ..cache import build_cache
+from ..cache import SpecMemo, build_cache
 from ..faults import fire_inner
 from ..reach.backend import ReachBackend
 from ..reach.model import ReachModelSpec
 
-#: Per-process memo of models rebuilt from specs, keyed by the spec's
-#: content fingerprint so equal specs arriving from different sweeps (or
-#: pickling round-trips) share one rebuild per worker process.
-_SPEC_MODELS: dict[str, Any] = {}
+#: Bounded per-process memo of models rebuilt from specs, keyed by the
+#: spec's content fingerprint so equal specs arriving from different
+#: sweeps (or pickling round-trips) share one rebuild per worker process.
+#: A small LRU rather than a plain dict: long-lived sweep/service workers
+#: see unboundedly many spec variants over their lifetime.
+_SPEC_MEMO = SpecMemo()
 
-#: Spec → fingerprint memo so the shard hot path pays a dataclass hash per
-#: task, not a SHA-256 over the serialised configs.
-_SPEC_KEYS: dict["ReachModelSpec", str] = {}
+
+def clear_spec_memo() -> None:
+    """Drop every memoised model rebuild (test isolation hook)."""
+    _SPEC_MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -67,15 +70,9 @@ def resolve_backend(payload: Any) -> Any:
     per worker.
     """
     if isinstance(payload, ReachModelSpec):
-        key = _SPEC_KEYS.get(payload)
-        if key is None:
-            key = payload.fingerprint()
-            _SPEC_KEYS[payload] = key
-        model = _SPEC_MODELS.get(key)
-        if model is None:
-            model = payload.build(cache=build_cache())
-            _SPEC_MODELS[key] = model
-        return model
+        return _SPEC_MEMO.get_or_build(
+            payload, lambda spec: spec.build(cache=build_cache())
+        )
     return payload
 
 

@@ -80,9 +80,13 @@ FAULT_KINDS = ("transient_api", "task_error", "slow", "crash")
 
 #: Where a plan's decisions fire: at the retry-guard boundary (before the
 #: task body), inside the task body at :func:`fire_inner` sites
-#: (``"kernel"``), or inside the build cache's disk-tier load/store paths
-#: (``"cache"`` — see :class:`repro.cache.DiskCache`).
-FAULT_DEPTHS = ("guard", "kernel", "cache")
+#: (``"kernel"``), inside the build cache's disk-tier load/store paths
+#: (``"cache"`` — see :class:`repro.cache.DiskCache`), or inside the
+#: API's bill-settling step (``"billing"`` — see
+#: :meth:`repro.adsapi.AdsManagerAPI.settle_reach_bill`, which fires
+#: *before* any accounting mutates so a faulted settle retries
+#: exactly-once).
+FAULT_DEPTHS = ("guard", "kernel", "cache", "billing")
 
 #: Environment variables read by :func:`ambient_chaos` (the CI chaos lane).
 FAULT_RATE_ENV = "REPRO_FAULT_RATE"
@@ -132,10 +136,12 @@ class FaultPlan:
     max_faults_per_task: int = 2
     #: Where decisions fire: ``"guard"`` (before the task body, the PR 6
     #: boundary), ``"kernel"`` (inside the body at :func:`fire_inner`
-    #: sites) or ``"cache"`` (inside the disk tier's load/store paths —
-    #: the tier degrades to rebuild, never to a partial artifact).  The
-    #: inner depths inject error kinds only, since latency and worker
-    #: exits belong to the guard layer.
+    #: sites), ``"cache"`` (inside the disk tier's load/store paths —
+    #: the tier degrades to rebuild, never to a partial artifact) or
+    #: ``"billing"`` (inside the API's bill settle, before the bucket
+    #: drains — a faulted settle leaves no billing trace, so the retry
+    #: settles exactly once).  The inner depths inject error kinds only,
+    #: since latency and worker exits belong to the guard layer.
     depth: str = "guard"
 
     def __post_init__(self) -> None:

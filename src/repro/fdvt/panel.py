@@ -25,7 +25,11 @@ every dataset statistic as an array sweep, cuts demographic sub-panels by
 boolean mask, and only materialises user objects when a legacy accessor
 (:attr:`FDVTPanel.users`, iteration, :meth:`FDVTPanel.get`) asks for them.
 Both modes hold bit-identical content for the same seed — the builders
-consume identical RNG streams (see :mod:`repro.population.generation`).
+consume identical RNG streams, and the columnar mode's interest shards run
+through the batched
+:meth:`~repro.population.assignment.InterestAssigner.assign_rows` kernel
+(see :mod:`repro.population.generation`'s stream contract for the per-row
+draw order the kernel preserves).
 """
 
 from __future__ import annotations

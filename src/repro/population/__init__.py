@@ -21,8 +21,10 @@ from .generation import (
     AssignerSpec,
     InterestShardTask,
     assigner_shard_payload,
+    clear_spec_memo,
     resolve_assigner,
     run_interest_shard,
+    run_interest_shard_reference,
 )
 from .population import Population, PopulationReachBackend
 from .sampling import InterestCountModel
@@ -49,8 +51,10 @@ __all__ = [
     "assigner_shard_payload",
     "classify_age",
     "classify_age_codes",
+    "clear_spec_memo",
     "resolve_assigner",
     "run_interest_shard",
+    "run_interest_shard_reference",
     "sample_age",
     "sample_ages",
     "sample_gender_index",

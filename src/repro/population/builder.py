@@ -13,7 +13,10 @@ Two build paths produce bit-identical users from the same seed:
 Both consume identical RNG streams: demographics and interest counts are
 single whole-array draws, and each user's assignment re-derives
 ``derive_generator(base_seed, "user", index)``, which depends only on the
-row index.
+row index.  The columnar path's shards run through the batched
+:meth:`~repro.population.assignment.InterestAssigner.assign_rows` kernel
+(see :mod:`repro.population.generation`'s stream contract), pinned
+bit-identical to the per-user loop by ``tests/test_assignment_kernel.py``.
 """
 
 from __future__ import annotations

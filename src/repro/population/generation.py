@@ -22,6 +22,38 @@ catalog for a cached sweep reuses it here).
 Shard results concatenate in shard order into the CSR arrays of
 :class:`~repro.population.columnar.PanelColumns`, so every backend, worker
 count and shard size yields bit-identical columns.
+
+Stream contract
+---------------
+
+Every row owns one ``derive_generator(base_seed, seed_key, row)`` stream,
+consumed in exactly this order — the invariant every execution path
+(object builders, scalar reference, batched kernel) must preserve:
+
+1. **age draw** — panel path only (``age_group_index`` present): one
+   ``rng.integers`` draw via :func:`~repro.population.demographics.sample_age`
+   for disclosed age groups; *no* draw for UNDISCLOSED rows;
+2. **bias jitter** — panel path only (``bias_jitter > 0``): one
+   ``rng.normal(0.0, jitter)`` draw, then round to 2 decimals and clip to
+   ``[0.1, 0.95]``;
+3. **preferred topics** — one
+   ``rng.choice(n_topics, size=count, replace=False)`` draw;
+4. **assignment** — the :meth:`InterestAssigner.assign
+   <repro.population.assignment.InterestAssigner.assign>` attempt loop:
+   per attempt one topic draw block (``rng.choice(..., p=...)``, i.e. one
+   uniform block against the topic CDF) followed by one
+   ``rng.random(batch)`` block for the within-topic draws; on exhaustion,
+   one ``rng.shuffle`` of the not-yet-assigned id list.
+
+:func:`run_interest_shard` runs stages 1–3 row by row, parks each row's
+live generator, then hands the whole shard to the batched
+:meth:`InterestAssigner.assign_rows
+<repro.population.assignment.InterestAssigner.assign_rows>` kernel for
+stage 4 — the per-row streams never merge (each row's generator advances
+exactly as the reference), only the bookkeeping between draws is hoisted
+and vectorised.  :func:`run_interest_shard_reference` keeps the original
+per-user loop as the executable statement of the contract; the parity
+suite pins the two against each other bit-for-bit.
 """
 
 from __future__ import annotations
@@ -32,17 +64,26 @@ from typing import Any
 import numpy as np
 
 from .._rng import derive_generator
-from ..cache import BuildCache, build_cache, catalog_stage_key, stable_fingerprint
+from ..cache import (
+    BuildCache,
+    SpecMemo,
+    build_cache,
+    catalog_stage_key,
+    stable_fingerprint,
+)
 from .columnar import AGE_GROUP_TABLE, AGE_UNDISCLOSED
-from .demographics import sample_age
+from .demographics import AGE_GROUP_BOUNDS, AgeGroup, sample_age
 
-#: Per-process memo of assigners rebuilt from specs, keyed by the spec's
-#: content fingerprint (mirrors ``repro.exec.tasks._SPEC_MODELS``).
-_SPEC_ASSIGNERS: dict[str, Any] = {}
+#: Bounded per-process memo of assigners rebuilt from specs (mirrors
+#: ``repro.exec.tasks``'s model memo): long-lived sweep/service workers
+#: see many spec variants over their lifetime, so the memo is a small LRU
+#: instead of an ever-growing dict.
+_SPEC_MEMO = SpecMemo()
 
-#: Spec → fingerprint memo so shard dispatch pays a dataclass hash, not a
-#: SHA-256, per task.
-_SPEC_KEYS: dict["AssignerSpec", str] = {}
+
+def clear_spec_memo() -> None:
+    """Drop every memoised assigner rebuild (test isolation hook)."""
+    _SPEC_MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -120,15 +161,9 @@ class AssignerSpec:
 def resolve_assigner(payload: Any) -> Any:
     """Return a live assigner for ``payload``, rebuilding specs once per process."""
     if isinstance(payload, AssignerSpec):
-        key = _SPEC_KEYS.get(payload)
-        if key is None:
-            key = payload.fingerprint()
-            _SPEC_KEYS[payload] = key
-        assigner = _SPEC_ASSIGNERS.get(key)
-        if assigner is None:
-            assigner = payload.build(cache=build_cache())
-            _SPEC_ASSIGNERS[key] = assigner
-        return assigner
+        return _SPEC_MEMO.get_or_build(
+            payload, lambda spec: spec.build(cache=build_cache())
+        )
     return payload
 
 
@@ -179,6 +214,61 @@ class InterestShardTask:
     bias_jitter: float = 0.0
 
 
+def _shard_row_streams(
+    assigner: Any, task: InterestShardTask
+) -> tuple[list[Any], list[np.ndarray], np.ndarray | None, np.ndarray | None]:
+    """Run stream stages 1–3 for every row; park the live generators.
+
+    Returns ``(streams, preferred, biases, ages)`` with one parked
+    generator and preferred-topic index array per row, ready for the
+    stage-4 batch kernel.
+    """
+    n_rows = task.stop - task.start
+    # The loop below is the kernel's remaining per-row Python; at ~5k rows
+    # it is a large share of shard wall-clock, so the per-draw helpers are
+    # inlined draw-for-draw (``sample_age`` is one ``rng.integers`` inside
+    # the group's bounds; the jitter clip is a scalar clamp) and the numpy
+    # scalar indexing is hoisted into plain Python lists.
+    ages: np.ndarray | None = None
+    age_codes: list[int] | None = None
+    if task.age_group_index is not None:
+        ages = np.full(n_rows, AGE_UNDISCLOSED, dtype=np.int16)
+        age_codes = task.age_group_index.tolist()
+    bounds_by_code = [
+        None if group is AgeGroup.UNDISCLOSED else AGE_GROUP_BOUNDS[group]
+        for group in AGE_GROUP_TABLE
+    ]
+    biases: np.ndarray | None = None
+    base_bias: list[float] | None = None
+    if task.base_bias is not None:
+        biases = np.empty(n_rows, dtype=np.float64)
+        base_bias = task.base_bias.tolist()
+    jitter = float(task.bias_jitter)
+    sample_preferred = assigner.sample_preferred_topic_indices
+    topics_per_user = task.topics_per_user
+    base_seed, seed_key, start = task.base_seed, task.seed_key, task.start
+    streams: list[Any] = []
+    preferred: list[np.ndarray] = []
+    for offset in range(n_rows):
+        user_rng = derive_generator(base_seed, seed_key, start + offset)
+        if age_codes is not None:
+            bounds = bounds_by_code[age_codes[offset]]
+            if bounds is not None:
+                ages[offset] = int(  # type: ignore[index]
+                    user_rng.integers(bounds[0], bounds[1] + 1)
+                )
+        if base_bias is not None:
+            bias = base_bias[offset]
+            if jitter > 0:
+                bias += float(user_rng.normal(0.0, jitter))
+                bias = round(bias, 2)
+                bias = 0.1 if bias < 0.1 else (0.95 if bias > 0.95 else bias)
+            biases[offset] = bias  # type: ignore[index]
+        preferred.append(sample_preferred(topics_per_user, user_rng))
+        streams.append(user_rng)
+    return streams, preferred, biases, ages
+
+
 def run_interest_shard(
     task: InterestShardTask,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
@@ -187,8 +277,38 @@ def run_interest_shard(
     ``flat_ids`` is the shard's CSR fragment (``int32``), ``row_counts``
     the per-row lengths, and ``ages`` the sampled ``int16`` ages (``None``
     when the task carries no age groups).  Bit-identical to the object
-    builders: the loop body consumes each per-user stream in exactly the
-    same order — age draw, bias jitter, preferred topics, assignment.
+    builders: each per-user stream is consumed in exactly the documented
+    order (see the module docstring's stream contract) — stages 1–3 row by
+    row, stage 4 through the batched
+    :meth:`~repro.population.assignment.InterestAssigner.assign_rows`
+    kernel.  Assigner payloads without the batch API (test doubles) fall
+    back to the per-user reference loop.
+    """
+    assigner = resolve_assigner(task.assigner)
+    if not hasattr(assigner, "assign_rows") or not hasattr(
+        assigner, "sample_preferred_topic_indices"
+    ):
+        return run_interest_shard_reference(task)
+    streams, preferred, biases, ages = _shard_row_streams(assigner, task)
+    flat, row_counts = assigner.assign_rows(
+        task.counts,
+        streams,
+        preferred_topics=preferred,
+        popularity_biases=biases,
+    )
+    return flat.astype(np.int32), row_counts, ages
+
+
+def run_interest_shard_reference(
+    task: InterestShardTask,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Per-user reference implementation of :func:`run_interest_shard`.
+
+    The executable statement of the stream contract: one
+    :meth:`~repro.population.assignment.InterestAssigner.assign` call per
+    row on the row's own generator.  The parity suite pins the batched
+    kernel against this loop bit-for-bit, and the benchmark's
+    assignment-rate stage uses it as the pre-kernel baseline.
     """
     assigner = resolve_assigner(task.assigner)
     n_rows = task.stop - task.start

@@ -21,6 +21,7 @@ Pins the disk-tier contract of :mod:`repro.cache` / :mod:`repro.io.artifacts`:
 from __future__ import annotations
 
 import json
+import os
 import threading
 import warnings
 
@@ -384,6 +385,92 @@ class TestManifestFolding:
         assert "1 resumed" in capsys.readouterr().out
 
 
+class TestPrune:
+    """LRU-by-mtime eviction keeps a disk root under a byte budget."""
+
+    @pytest.fixture
+    def aged_disk(self, tmp_path):
+        """Three catalog artifacts with strictly increasing mtimes k0<k1<k2."""
+        disk = DiskCache(tmp_path / "cache")
+        catalog = build_catalog(small_config(), seed=17)
+        base_ns = 1_700_000_000 * 10**9
+        for step in range(3):
+            key = f"prune-test-{step}"
+            assert disk.store(key, CATALOG_CODEC, catalog)
+            stamp = base_ns + step * 10**9
+            os.utime(disk.path_for(key, CATALOG_CODEC), ns=(stamp, stamp))
+        return disk
+
+    def _names(self, disk):
+        return sorted(path.name for path in disk.artifact_paths())
+
+    def test_generous_budget_removes_nothing(self, aged_disk):
+        stats = aged_disk.prune(max_bytes=10**12)
+        assert stats == {
+            "removed": 0,
+            "freed_bytes": 0,
+            "remaining_bytes": sum(
+                p.stat().st_size for p in aged_disk.artifact_paths()
+            ),
+        }
+        assert len(aged_disk.artifact_paths()) == 3
+
+    def test_oldest_artifact_goes_first(self, aged_disk):
+        total = sum(p.stat().st_size for p in aged_disk.artifact_paths())
+        stats = aged_disk.prune(max_bytes=total - 1)
+        assert stats["removed"] == 1
+        assert stats["remaining_bytes"] <= total - 1
+        survivors = self._names(aged_disk)
+        assert not any("prune-test-0" in name for name in survivors)
+        assert len(survivors) == 2
+
+    def test_load_refreshes_recency(self, aged_disk):
+        # A hit on the oldest artifact touches its mtime, so the next
+        # prune evicts the *second*-oldest instead.
+        status, artifact = aged_disk.load("prune-test-0", CATALOG_CODEC)
+        assert status == "hit" and artifact is not None
+        total = sum(p.stat().st_size for p in aged_disk.artifact_paths())
+        aged_disk.prune(max_bytes=total - 1)
+        survivors = self._names(aged_disk)
+        assert any("prune-test-0" in name for name in survivors)
+        assert not any("prune-test-1" in name for name in survivors)
+
+    def test_zero_budget_empties_the_root(self, aged_disk):
+        stats = aged_disk.prune(max_bytes=0)
+        assert stats["removed"] == 3
+        assert stats["remaining_bytes"] == 0
+        assert aged_disk.artifact_paths() == []
+
+    def test_negative_budget_is_loud(self, aged_disk):
+        with pytest.raises(ConfigurationError):
+            aged_disk.prune(max_bytes=-1)
+
+    def test_inflight_temp_files_are_left_alone(self, aged_disk):
+        # Temp files belong to in-flight stores; prune must not race them.
+        temp = aged_disk.objects_dir / "whatever.json.tmp-123-456"
+        temp.write_text("partial")
+        aged_disk.prune(max_bytes=0)
+        assert temp.is_file()
+
+    def test_already_unlinked_artifact_counts_as_freed(self, aged_disk, monkeypatch):
+        # A racing pruner (or clear) unlinking first is tolerated: its
+        # bytes are gone either way, and the sweep carries on.
+        from pathlib import Path
+
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            real_unlink(self)
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        stats = aged_disk.prune(max_bytes=0)
+        monkeypatch.undo()
+        assert stats["removed"] == 0  # every unlink "lost" its race
+        assert stats["remaining_bytes"] == 0
+        assert aged_disk.artifact_paths() == []
+
+
 class TestCacheCli:
     def test_warm_info_clear_cycle(self, tmp_path, capsys):
         root = tmp_path / "root"
@@ -405,6 +492,28 @@ class TestCacheCli:
         assert "removed 2 file(s)" in capsys.readouterr().out
         assert main(["cache", "info", "--root", str(root)]) == 0
         assert "artifacts : 0" in capsys.readouterr().out
+
+    def test_prune_cycle(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        assert main(["cache", "warm", "--root", str(root), "--factor", str(FACTOR)]) == 0
+        capsys.readouterr()
+
+        # A generous budget is a no-op.
+        big = str(10**12)
+        assert main(["cache", "prune", "--root", str(root), "--max-bytes", big]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 artifact(s)" in out
+        assert "budget in use" in out
+
+        # A zero budget empties the root; info agrees.
+        assert main(["cache", "prune", "--root", str(root), "--max-bytes", "0"]) == 0
+        assert "pruned 2 artifact(s)" in capsys.readouterr().out
+        assert main(["cache", "info", "--root", str(root)]) == 0
+        assert "artifacts : 0" in capsys.readouterr().out
+
+    def test_prune_requires_a_budget(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--root", str(tmp_path / "root")])
 
     def test_warm_grid_dedups_shared_stages(self, tmp_path, capsys):
         root = tmp_path / "root"

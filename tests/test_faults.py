@@ -324,11 +324,11 @@ class TestKernelDepthInjection:
         fire_inner("kernel")  # outside any guarded_call: nothing to fire
 
     def test_depth_is_validated(self):
-        assert FAULT_DEPTHS == ("guard", "kernel", "cache")
+        assert FAULT_DEPTHS == ("guard", "kernel", "cache", "billing")
         with pytest.raises(ConfigurationError):
             FaultPlan(seed=1, error_rate=0.1, depth="basement")
         # Latency and worker exits belong to the guard layer only.
-        for inner in ("kernel", "cache"):
+        for inner in ("kernel", "cache", "billing"):
             with pytest.raises(ConfigurationError):
                 FaultPlan(seed=1, slow_rate=0.1, depth=inner)
             with pytest.raises(ConfigurationError):
@@ -512,6 +512,61 @@ class TestCollectionChaosParity:
         assert chaotic.user_ids == reference.user_ids
         # Exactly-once billing: retried shards leave no accounting trace.
         assert self._accounting(api) == self._accounting(reference_api)
+
+
+class TestBillingChaosParity:
+    """Plans with ``depth="billing"`` fire inside ``settle_reach_bill``.
+
+    The fire site sits *before* the bucket drain, so a faulted settle
+    must leave zero accounting trace and a retried settle must land
+    exactly once — throttle counters, bucket level and clock all
+    bit-identical to a fault-free run.
+    """
+
+    def _accounting(self, api: AdsManagerAPI) -> tuple:
+        return (api.call_stats(), api.rate_limiter.available_tokens, api.clock.now())
+
+    def test_faulted_settle_leaves_no_accounting_trace(self, simulation):
+        api = fresh_legacy_api(simulation)
+        untouched = self._accounting(api)
+        bill = api.reach_matrix_bill([5, 4, 8])
+        plan = FaultPlan(
+            seed=5, error_rate=1.0, depth="billing", max_faults_per_task=1
+        )
+        with pytest.raises(InjectedFaultError):
+            run_guarded(api.settle_reach_bill, bill, index=0, faults=plan)
+        assert self._accounting(api) == untouched
+
+    def test_retried_settle_bills_exactly_once(self, simulation):
+        reference_api = fresh_legacy_api(simulation)
+        reference_api.settle_reach_bill(reference_api.reach_matrix_bill([5, 4, 8]))
+
+        api = fresh_legacy_api(simulation)
+        plan = FaultPlan(
+            seed=5, error_rate=1.0, depth="billing", max_faults_per_task=1
+        )
+        _, attempts = guarded_call(
+            api.settle_reach_bill,
+            api.reach_matrix_bill([5, 4, 8]),
+            index=0,
+            retry=RetryPolicy(max_attempts=3),
+            faults=plan,
+        )
+        assert attempts == 2
+        assert self._accounting(api) == self._accounting(reference_api)
+
+    def test_billing_faults_never_fire_at_other_sites(self, simulation):
+        # A billing-depth plan must not kill the pure compute path: the
+        # shard kernel's fire_inner("kernel") site stays silent under it.
+        plan = FaultPlan(
+            seed=5, error_rate=1.0, depth="billing", max_faults_per_task=10
+        )
+
+        def body(x):
+            fire_inner("kernel")
+            return x * x
+
+        assert run_guarded(body, 4, index=0, faults=plan) == 16
 
 
 #: Kernel-depth chaos: error kinds only, raised *inside* the reach-shard
